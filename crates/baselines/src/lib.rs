@@ -1,0 +1,31 @@
+//! # seer-baselines — the schedulers Seer is evaluated against
+//!
+//! The paper's §5.1 compares Seer with three alternatives usable on
+//! commodity best-effort HTM, all implemented here against the
+//! `seer-runtime` scheduler interface:
+//!
+//! * [`Hle`] — hardware lock elision: a tiny hardware retry budget, no
+//!   waiting, no contention management; suffers the lemming effect.
+//! * [`Rtm`] — software retry (budget 5) that waits while the fall-back
+//!   lock is held before re-attempting.
+//! * [`Scm`] — software-assisted conflict management: aborted transactions
+//!   serialize behind one auxiliary lock and retry in hardware.
+//! * [`Ats`] — adaptive transaction scheduling via a per-thread contention
+//!   intensity (extra series; see its module docs).
+//!
+//! Integration tests at the bottom of this crate check the *behavioural
+//! signatures* the paper reports for each baseline (lemming collapse of
+//! HLE, SCM's low fall-back rate, etc.).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ats;
+pub mod hle;
+pub mod rtm;
+pub mod scm;
+
+pub use ats::Ats;
+pub use hle::Hle;
+pub use rtm::Rtm;
+pub use scm::Scm;

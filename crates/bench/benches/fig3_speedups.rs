@@ -1,0 +1,44 @@
+//! Figure 3 kernel: one full simulated run per (benchmark, policy) cell at
+//! 8 threads. The timed quantity is the simulator's wall-clock cost of
+//! regenerating one Figure 3 cell; the *figures themselves* come from
+//! `cargo run -p seer-harness --bin fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seer_bench::BENCH_SCALE;
+use seer_harness::{run_once, Cell, PolicyKind};
+use seer_stamp::Benchmark;
+use std::hint::black_box;
+
+fn fig3_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for benchmark in Benchmark::STAMP {
+        for policy in PolicyKind::FIGURE3 {
+            let id = BenchmarkId::new(benchmark.name(), policy.label());
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let m = run_once(
+                        Cell {
+                            benchmark,
+                            policy,
+                            threads: 8,
+                        },
+                        0,
+                        BENCH_SCALE,
+                    );
+                    black_box(m.speedup())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = fig3_cells
+}
+criterion_main!(benches);

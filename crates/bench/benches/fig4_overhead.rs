@@ -1,0 +1,42 @@
+//! Figure 4 kernel: RTM vs profile-only Seer on the overhead probe
+//! workloads (the instrumentation cost study).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seer_bench::BENCH_SCALE;
+use seer_harness::{run_once, Cell, PolicyKind};
+use seer_stamp::Benchmark;
+use std::hint::black_box;
+
+fn fig4_cells(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for benchmark in [Benchmark::HashmapLow, Benchmark::Ssca2] {
+        for policy in [PolicyKind::Rtm, PolicyKind::SeerProfileOnly] {
+            let id = BenchmarkId::new(benchmark.name(), policy.label());
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let m = run_once(
+                        Cell {
+                            benchmark,
+                            policy,
+                            threads: 8,
+                        },
+                        0,
+                        BENCH_SCALE,
+                    );
+                    black_box(m.speedup())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = fig4_cells
+}
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figure 5 kernel: the cumulative Seer variants on one conflict-heavy
+//! benchmark at 8 threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seer_bench::BENCH_SCALE;
+use seer_harness::{run_once, Cell, PolicyKind};
+use seer_stamp::Benchmark;
+use std::hint::black_box;
+
+fn fig5_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for policy in PolicyKind::FIGURE5 {
+        let id = BenchmarkId::from_parameter(policy.label());
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let m = run_once(
+                    Cell {
+                        benchmark: Benchmark::Genome,
+                        policy,
+                        threads: 8,
+                    },
+                    0,
+                    BENCH_SCALE,
+                );
+                black_box(m.speedup())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = fig5_variants
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table 3 kernel: the mode-breakdown sweep at the paper's thread counts
+//! for one representative benchmark per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use seer_bench::BENCH_SCALE;
+use seer_harness::{run_once, Cell, PolicyKind};
+use seer_stamp::Benchmark;
+use std::hint::black_box;
+
+fn table3_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for policy in PolicyKind::FIGURE3 {
+        for threads in [2usize, 8] {
+            let id = BenchmarkId::new(policy.label(), threads);
+            group.bench_function(id, |b| {
+                b.iter(|| {
+                    let m = run_once(
+                        Cell {
+                            benchmark: Benchmark::VacationHigh,
+                            policy,
+                            threads,
+                        },
+                        0,
+                        BENCH_SCALE,
+                    );
+                    black_box(m.modes.total())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = table3_rows
+}
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! # seer-bench — Criterion benchmarks
+//!
+//! One bench group per paper artefact (the *timed* complement of the
+//! `seer-harness` binaries, which print the actual tables/figures), plus
+//! microbenchmarks of the hot paths and the ablation benches called out in
+//! `DESIGN.md` §5:
+//!
+//! * `fig3_speedups` — one simulated run per (benchmark, Figure 3 policy);
+//! * `table3_modes`, `fig4_overhead`, `fig5_ablation` — the experiment
+//!   kernels behind the corresponding harness binaries;
+//! * `htm_microbench` — conflict-detection and line-set hot paths;
+//! * `inference_microbench` — Alg. 5 lock-scheme computation and Gaussian
+//!   percentile math;
+//! * `ablations` — conflict-resolution policy, multi-CAS lock acquisition,
+//!   and statistics merge period.
+//!
+//! Run with `cargo bench --workspace`; each bench uses a reduced workload
+//! scale so a full sweep stays in the minutes range.
+
+/// Workload scale factor shared by the simulation benches.
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// Seeds used by benches (a single seed: Criterion already repeats).
+pub const BENCH_SEED: u64 = 0xBE7C;

@@ -1,0 +1,318 @@
+//! The CLI commands: `list`, `run`, `sweep`, `inspect`.
+
+use seer::{Seer, SeerConfig};
+use seer_harness::{run_once, Cell, PolicyKind};
+use seer_runtime::{run, DriverConfig, RunMetrics, TxMode, Workload};
+use seer_stamp::Benchmark;
+
+use crate::args::{Args, ParseError};
+
+/// All benchmarks the CLI can name (STAMP + the hash-map probe).
+fn benchmarks() -> Vec<Benchmark> {
+    Benchmark::STAMP
+        .into_iter()
+        .chain([Benchmark::HashmapLow])
+        .collect()
+}
+
+fn parse_benchmark(name: &str) -> Result<Benchmark, ParseError> {
+    benchmarks()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| ParseError(format!("unknown benchmark {name:?} (see `seer list`)")))
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, ParseError> {
+    let policy = match name.to_ascii_lowercase().as_str() {
+        "hle" => PolicyKind::Hle,
+        "rtm" => PolicyKind::Rtm,
+        "scm" => PolicyKind::Scm,
+        "ats" => PolicyKind::Ats,
+        "seer" => PolicyKind::Seer,
+        "seer-profile-only" => PolicyKind::SeerProfileOnly,
+        "seer-core-locks-only" => PolicyKind::SeerCoreLocksOnly,
+        _ => {
+            return Err(ParseError(format!(
+                "unknown policy {name:?} (see `seer list`)"
+            )))
+        }
+    };
+    Ok(policy)
+}
+
+/// Prints top-level usage.
+pub fn print_usage() {
+    println!(
+        "seer — Seer HTM-scheduler reproduction (SPAA'15)\n\
+         \n\
+         commands:\n\
+         \x20 list                         benchmarks and policies\n\
+         \x20 run      one simulated run   --benchmark B --policy P --threads N\n\
+         \x20                              [--seed N] [--txs N] [--json true]\n\
+         \x20 sweep    thread sweep        --benchmark B [--policies hle,rtm,scm,seer]\n\
+         \x20                              [--max-threads N] [--seed N]\n\
+         \x20 inspect  Seer's learned state --benchmark B --threads N [--txs N] [--seed N]\n\
+         \n\
+         Simulated machine: 4 physical cores x 2 hyper-threads (the paper's\n\
+         Haswell Xeon E3-1275); all results are in simulated cycles."
+    );
+}
+
+/// `seer list`.
+pub fn list() {
+    println!("benchmarks:");
+    for b in benchmarks() {
+        println!("  {:<14} ({} txs/thread by default)", b.name(), b.default_txs());
+    }
+    println!("\npolicies:");
+    for (name, desc) in [
+        ("hle", "hardware lock elision (no scheduling)"),
+        ("rtm", "software retry + wait-on-fallback-lock"),
+        ("scm", "software-assisted conflict management (aux lock)"),
+        ("ats", "adaptive transaction scheduling (contention factor)"),
+        ("seer", "full Seer (probabilistic scheduling)"),
+        ("seer-profile-only", "Seer monitoring without lock acquisition"),
+        ("seer-core-locks-only", "Seer with only per-core locks"),
+    ] {
+        println!("  {name:<22} {desc}");
+    }
+}
+
+fn metrics_summary(m: &RunMetrics) -> String {
+    format!(
+        "commits            {}\n\
+         speedup            {:.3}x over sequential\n\
+         aborts/commit      {:.3} (conflict {}, capacity {}, explicit {}, other {})\n\
+         fall-back          {:.1}% of commits\n\
+         modes              no-locks {:.1}%, aux {:.1}%, tx {:.1}%, core {:.1}%, tx+core {:.1}%, sgl {:.1}%\n\
+         waits              {} parks, mean {:.0} / p95 ~{} / max {} cycles\n\
+         makespan           {} cycles (sequential work: {} cycles)",
+        m.commits,
+        m.speedup(),
+        m.abort_ratio(),
+        m.aborts.conflict,
+        m.aborts.capacity,
+        m.aborts.explicit,
+        m.aborts.other,
+        m.fallback_fraction() * 100.0,
+        m.modes.fraction(TxMode::HtmNoLocks) * 100.0,
+        m.modes.fraction(TxMode::HtmAuxLock) * 100.0,
+        m.modes.fraction(TxMode::HtmTxLocks) * 100.0,
+        m.modes.fraction(TxMode::HtmCoreLock) * 100.0,
+        m.modes.fraction(TxMode::HtmTxAndCoreLocks) * 100.0,
+        m.modes.fraction(TxMode::SglFallback) * 100.0,
+        m.wait_histogram.count(),
+        m.wait_histogram.mean(),
+        m.wait_histogram.quantile(0.95),
+        m.wait_histogram.max(),
+        m.makespan,
+        m.sequential_cycles,
+    )
+}
+
+/// `seer run`.
+pub fn run_one(args: &Args) -> Result<(), ParseError> {
+    args.allow_only(&["benchmark", "policy", "threads", "seed", "txs", "json"])?;
+    let benchmark = parse_benchmark(args.get("benchmark").unwrap_or("genome"))?;
+    let policy = parse_policy(args.get("policy").unwrap_or("seer"))?;
+    let threads: usize = args.get_parsed("threads", 8)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let txs: usize = args.get_parsed("txs", benchmark.default_txs())?;
+    let json: bool = args.get_parsed("json", false)?;
+    if threads == 0 || threads > 8 {
+        return Err(ParseError("--threads must be 1..=8".into()));
+    }
+
+    let scale = txs as f64 / benchmark.default_txs() as f64;
+    let m = run_once(
+        Cell {
+            benchmark,
+            policy,
+            threads,
+        },
+        seed,
+        scale,
+    );
+    if json {
+        let out = serde_json::json!({
+            "benchmark": benchmark.name(),
+            "policy": policy.label(),
+            "threads": threads,
+            "seed": seed,
+            "commits": m.commits,
+            "speedup": m.speedup(),
+            "abort_ratio": m.abort_ratio(),
+            "fallback_fraction": m.fallback_fraction(),
+            "makespan_cycles": m.makespan,
+            "sequential_cycles": m.sequential_cycles,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+    } else {
+        println!("{} under {} with {threads} thread(s), seed {seed}:", benchmark.name(), policy.label());
+        println!("{}", metrics_summary(&m));
+    }
+    Ok(())
+}
+
+/// `seer sweep`.
+pub fn sweep(args: &Args) -> Result<(), ParseError> {
+    args.allow_only(&["benchmark", "policies", "max-threads", "seed"])?;
+    let benchmark = parse_benchmark(args.get("benchmark").unwrap_or("genome"))?;
+    let max_threads: usize = args.get_parsed("max-threads", 8)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    if max_threads == 0 || max_threads > 8 {
+        return Err(ParseError("--max-threads must be 1..=8".into()));
+    }
+    let policies: Vec<PolicyKind> = match args.get("policies") {
+        None => PolicyKind::FIGURE3.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(parse_policy)
+            .collect::<Result<_, _>>()?,
+    };
+
+    println!("{} — speedup over sequential (seed {seed})", benchmark.name());
+    print!("{:>8}", "threads");
+    for p in &policies {
+        print!("{:>12}", p.label());
+    }
+    println!();
+    for threads in 1..=max_threads {
+        print!("{threads:>8}");
+        for &policy in &policies {
+            let m = run_once(
+                Cell {
+                    benchmark,
+                    policy,
+                    threads,
+                },
+                seed,
+                0.5,
+            );
+            print!("{:>12.3}", m.speedup());
+        }
+        println!();
+    }
+    Ok(())
+}
+
+/// `seer inspect`.
+pub fn inspect(args: &Args) -> Result<(), ParseError> {
+    args.allow_only(&["benchmark", "threads", "txs", "seed"])?;
+    let benchmark = parse_benchmark(args.get("benchmark").unwrap_or("genome"))?;
+    let threads: usize = args.get_parsed("threads", 8)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    if threads == 0 || threads > 8 {
+        return Err(ParseError("--threads must be 1..=8".into()));
+    }
+    let txs: usize = args.get_parsed("txs", benchmark.default_txs())?;
+
+    let mut workload = benchmark.instantiate(threads, txs);
+    let blocks = workload.num_blocks();
+    let mut sched = Seer::new(SeerConfig::full(), threads, blocks);
+    let m = run(
+        &mut workload,
+        &mut sched,
+        &DriverConfig::paper_machine(threads, seed),
+    );
+    sched.force_update();
+
+    println!("{} under full Seer, {threads} thread(s):\n", benchmark.name());
+    println!("{}\n", metrics_summary(&m));
+    println!(
+        "thresholds          Th1 = {:.2}, Th2 = {:.2} ({} updates, {} climb steps)",
+        sched.thresholds().th1,
+        sched.thresholds().th2,
+        sched.counters().updates,
+        sched.counters().climb_steps
+    );
+    println!("\ninferred locking scheme:");
+    let mut any = false;
+    for x in 0..blocks {
+        let row = sched.lock_table().row(x);
+        if !row.is_empty() {
+            let partners: Vec<&str> = row.iter().map(|&y| workload.block_name(y)).collect();
+            println!("  {:<18} -> {partners:?}", workload.block_name(x));
+            any = true;
+        }
+    }
+    if !any {
+        println!("  (empty — no pair crossed the thresholds)");
+    }
+    println!("\nground truth (simulator oracle; victim <- killer, top 8):");
+    let mut pairs: Vec<(u64, usize, usize)> = (0..blocks)
+        .flat_map(|v| (0..blocks).map(move |k| (v, k)))
+        .map(|(v, k)| (m.ground_truth.get(v, k), v, k))
+        .filter(|&(n, _, _)| n > 0)
+        .collect();
+    pairs.sort_unstable_by_key(|p| std::cmp::Reverse(p.0));
+    for (kills, v, k) in pairs.into_iter().take(8) {
+        println!(
+            "  {:<18} <- {:<18} {kills}",
+            workload.block_name(v),
+            workload.block_name(k)
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(parts: &[&str]) -> Args {
+        Args::parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn benchmark_and_policy_lookup() {
+        assert_eq!(parse_benchmark("genome").unwrap().name(), "genome");
+        assert_eq!(parse_benchmark("hashmap-low").unwrap().name(), "hashmap-low");
+        assert!(parse_benchmark("nope").is_err());
+        assert_eq!(parse_policy("SEER").unwrap(), PolicyKind::Seer);
+        assert_eq!(parse_policy("hle").unwrap(), PolicyKind::Hle);
+        assert!(parse_policy("nope").is_err());
+    }
+
+    #[test]
+    fn run_command_executes() {
+        let a = args(&["run", "--benchmark", "ssca2", "--threads", "2", "--txs", "40"]);
+        run_one(&a).expect("run should succeed");
+        let a = args(&["run", "--benchmark", "ssca2", "--threads", "2", "--txs", "40", "--json", "true"]);
+        run_one(&a).expect("json run should succeed");
+    }
+
+    #[test]
+    fn run_command_validates_threads() {
+        let a = args(&["run", "--threads", "9"]);
+        assert!(run_one(&a).is_err());
+        let a = args(&["run", "--threads", "0"]);
+        assert!(run_one(&a).is_err());
+    }
+
+    #[test]
+    fn sweep_command_executes_with_policy_list() {
+        let a = args(&[
+            "sweep",
+            "--benchmark",
+            "hashmap-low",
+            "--policies",
+            "rtm,seer",
+            "--max-threads",
+            "2",
+        ]);
+        sweep(&a).expect("sweep should succeed");
+    }
+
+    #[test]
+    fn inspect_command_executes() {
+        let a = args(&["inspect", "--benchmark", "kmeans-high", "--threads", "4", "--txs", "60"]);
+        inspect(&a).expect("inspect should succeed");
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        let a = args(&["run", "--bogus", "1"]);
+        assert!(run_one(&a).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! `seer` — command-line front end for the Seer reproduction.
+//!
+//! ```text
+//! seer list                                  # benchmarks and policies
+//! seer run    --benchmark genome --policy seer --threads 8 [--seed N] [--txs N] [--json true]
+//! seer sweep  --benchmark vacation-high [--policies hle,rtm,scm,seer] [--max-threads 8]
+//! seer inspect --benchmark intruder --threads 8 [--txs N]   # Seer's learned state
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(raw) {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("try `seer help`");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(raw: Vec<String>) -> Result<(), String> {
+    if raw.is_empty() {
+        commands::print_usage();
+        return Ok(());
+    }
+    let args = Args::parse(raw).map_err(|e| e.to_string())?;
+    if args.wants_help() || args.command == "help" {
+        commands::print_usage();
+        return Ok(());
+    }
+    match args.command.as_str() {
+        "list" => {
+            args.allow_only(&[]).map_err(|e| e.to_string())?;
+            commands::list();
+            Ok(())
+        }
+        "run" => commands::run_one(&args).map_err(|e| e.to_string()),
+        "sweep" => commands::sweep(&args).map_err(|e| e.to_string()),
+        "inspect" => commands::inspect(&args).map_err(|e| e.to_string()),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}

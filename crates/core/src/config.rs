@@ -1,0 +1,229 @@
+//! Seer configuration: mechanism toggles and tuning knobs.
+//!
+//! Every mechanism the paper ablates in Figure 5 is independently
+//! switchable, so the harness can build the cumulative variants
+//! (profile-only → +tx-locks → +core-locks → +htm-lock-acquisition →
+//! +hill-climbing) from the same implementation.
+
+use seer_sim::Cycles;
+
+use crate::inference::Thresholds;
+
+/// Instrumentation costs charged to threads, in cycles (the source of the
+/// Figure 4 overhead). Scanning `activeTxs` costs `scan_per_slot` per
+/// thread slot; announcing costs one store plus pipeline noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfilingCosts {
+    /// Cost of announcing in `activeTxs` at transaction start.
+    pub announce: Cycles,
+    /// Per-slot cost of scanning `activeTxs` on commit/abort registration.
+    pub scan_per_slot: Cycles,
+    /// Fixed cost of the matrix row updates per registration.
+    pub register_fixed: Cycles,
+}
+
+impl Default for ProfilingCosts {
+    fn default() -> Self {
+        Self {
+            announce: 4,
+            scan_per_slot: 2,
+            register_fixed: 6,
+        }
+    }
+}
+
+/// Full configuration of the Seer scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeerConfig {
+    /// Hardware attempts before the fall-back (paper: 5).
+    pub budget: u32,
+    /// Acquire the inferred transaction locks on the last attempt.
+    pub tx_locks: bool,
+    /// Acquire the per-physical-core lock after capacity aborts.
+    pub core_locks: bool,
+    /// Take multiple locks inside one small hardware transaction
+    /// (the multi-CAS optimization) instead of one CAS per lock.
+    pub htm_lock_acquisition: bool,
+    /// Self-tune `Th1`/`Th2` by stochastic hill climbing.
+    pub hill_climbing: bool,
+    /// Initial (or, with hill climbing off, permanent) thresholds.
+    pub thresholds: Thresholds,
+    /// Minimum executions between lock-scheme recomputations
+    /// ("enough-samples" pacing of UPDATE-Seer-LOCKS).
+    pub update_period_execs: u64,
+    /// Minimum executions between hill-climbing evaluations.
+    pub climb_period_execs: u64,
+    /// Halve (decay) the statistics matrices every this many lock-scheme
+    /// updates; `None` accumulates forever (the paper's behaviour).
+    /// Decaying lets the inferred scheme *forget* conflict relations that
+    /// a phase change made obsolete.
+    pub decay_every_updates: Option<u64>,
+    /// Probability of registering any given commit/abort event in the
+    /// statistics (1.0 = always, the paper's behaviour). Sub-unit values
+    /// implement the probabilistic-sampling extension the paper's future
+    /// work proposes (its ref. \[5\]): unbiased statistics at a fraction of
+    /// the monitoring overhead, at the cost of slower convergence.
+    pub sampling: f64,
+    /// Instrumentation cost model.
+    pub costs: ProfilingCosts,
+}
+
+impl Default for SeerConfig {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl SeerConfig {
+    /// Full Seer: every mechanism enabled (the paper's headline system).
+    pub fn full() -> Self {
+        Self {
+            budget: 5,
+            tx_locks: true,
+            core_locks: true,
+            htm_lock_acquisition: true,
+            hill_climbing: true,
+            thresholds: Thresholds::default(),
+            update_period_execs: 300,
+            climb_period_execs: 1_000,
+            decay_every_updates: None,
+            sampling: 1.0,
+            costs: ProfilingCosts::default(),
+        }
+    }
+
+    /// The Figure 4 variant: all monitoring, inference and self-tuning
+    /// overheads are paid, but no lock is ever acquired.
+    pub fn profile_only() -> Self {
+        Self {
+            tx_locks: false,
+            core_locks: false,
+            htm_lock_acquisition: false,
+            ..Self::full()
+        }
+    }
+
+    /// Figure 5 cumulative variant: profile-only + transaction locks
+    /// (per-CAS acquisition, static thresholds).
+    pub fn plus_tx_locks() -> Self {
+        Self {
+            tx_locks: true,
+            core_locks: false,
+            htm_lock_acquisition: false,
+            hill_climbing: false,
+            ..Self::full()
+        }
+    }
+
+    /// Figure 5 cumulative variant: + core locks.
+    pub fn plus_core_locks() -> Self {
+        Self {
+            core_locks: true,
+            ..Self::plus_tx_locks()
+        }
+    }
+
+    /// Figure 5 cumulative variant: + HTM multi-CAS lock acquisition.
+    pub fn plus_htm_locks() -> Self {
+        Self {
+            htm_lock_acquisition: true,
+            ..Self::plus_core_locks()
+        }
+    }
+
+    /// Figure 5 cumulative variant: + hill climbing — equals [`Self::full`].
+    pub fn plus_hill_climbing() -> Self {
+        Self {
+            hill_climbing: true,
+            ..Self::plus_htm_locks()
+        }
+    }
+
+    /// Adaptivity extension: full Seer that halves its statistics every
+    /// `updates` lock-scheme recomputations, so stale conflict relations
+    /// fade after workload phase changes.
+    ///
+    /// # Panics
+    /// If `updates` is zero.
+    pub fn with_decay(updates: u64) -> Self {
+        assert!(updates > 0, "decay period must be positive");
+        Self {
+            decay_every_updates: Some(updates),
+            ..Self::full()
+        }
+    }
+
+    /// Future-work extension: full Seer with sampled statistics
+    /// collection (register each event with probability `p`).
+    ///
+    /// # Panics
+    /// If `p` is outside `[0, 1]`.
+    pub fn with_sampling(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "sampling probability in [0,1]");
+        Self {
+            sampling: p,
+            ..Self::full()
+        }
+    }
+
+    /// §5.3 ablation: *only* core locks (no transaction locks).
+    pub fn core_locks_only() -> Self {
+        Self {
+            tx_locks: false,
+            core_locks: true,
+            htm_lock_acquisition: false,
+            hill_climbing: false,
+            ..Self::full()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_enables_everything() {
+        let c = SeerConfig::full();
+        assert!(c.tx_locks && c.core_locks && c.htm_lock_acquisition && c.hill_climbing);
+        assert_eq!(c.budget, 5);
+        assert_eq!(c.thresholds, Thresholds { th1: 0.3, th2: 0.8 });
+    }
+
+    #[test]
+    fn profile_only_disables_all_locks() {
+        let c = SeerConfig::profile_only();
+        assert!(!c.tx_locks && !c.core_locks && !c.htm_lock_acquisition);
+        // Monitoring costs remain — that is the point of the variant.
+        assert!(c.costs.announce > 0);
+    }
+
+    #[test]
+    fn cumulative_variants_nest() {
+        assert!(SeerConfig::plus_tx_locks().tx_locks);
+        assert!(!SeerConfig::plus_tx_locks().core_locks);
+        assert!(SeerConfig::plus_core_locks().core_locks);
+        assert!(!SeerConfig::plus_core_locks().htm_lock_acquisition);
+        assert!(SeerConfig::plus_htm_locks().htm_lock_acquisition);
+        assert!(!SeerConfig::plus_htm_locks().hill_climbing);
+        assert_eq!(SeerConfig::plus_hill_climbing(), SeerConfig::full());
+    }
+
+    #[test]
+    fn core_locks_only_variant() {
+        let c = SeerConfig::core_locks_only();
+        assert!(!c.tx_locks && c.core_locks);
+    }
+
+    #[test]
+    fn sampling_defaults_to_always() {
+        assert_eq!(SeerConfig::full().sampling, 1.0);
+        assert_eq!(SeerConfig::with_sampling(0.25).sampling, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling probability")]
+    fn sampling_out_of_range_rejected() {
+        SeerConfig::with_sampling(1.5);
+    }
+}

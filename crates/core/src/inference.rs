@@ -1,0 +1,262 @@
+//! The probabilistic inference of conflict relations (Alg. 5).
+//!
+//! For every pair of atomic blocks `(x, y)` the merged statistics yield:
+//!
+//! * the **conditional** probability that `x` aborts given `y` was running
+//!   concurrently — `P(x aborts | x‖y) = a_xy / (c_xy + a_xy)`;
+//! * the **conjunctive** probability of an abort of `x` with `y` running —
+//!   `P(x aborts ∧ x‖y) = a_xy / e_x`.
+//!
+//! A pair is serialized when the conjunctive probability clears the
+//! absolute threshold `Th1` (is the pattern *frequent enough to matter*?)
+//! **and** the conditional probability clears the `Th2`-th percentile of a
+//! Gaussian fitted to the conditional probabilities of `x`'s whole row (is
+//! `y` *among the most suspicious peers*, rather than a false positive of
+//! the imprecise active-transactions probing?).
+
+use seer_runtime::BlockId;
+
+use crate::gaussian::{gaussian_percentile, mean_variance};
+use crate::stats::MergedStats;
+
+/// Inference thresholds (self-tuned by the hill climber at run time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Lower bound on the conjunctive probability `P(x aborts ∧ x‖y)`.
+    pub th1: f64,
+    /// Percentile cut-off (in `[0, 1]`) on the conditional probability.
+    pub th2: f64,
+}
+
+impl Default for Thresholds {
+    /// The paper's initial values: `Th1 = 0.3`, `Th2 = 0.8`.
+    fn default() -> Self {
+        Self { th1: 0.3, th2: 0.8 }
+    }
+}
+
+impl Thresholds {
+    /// Clamps both thresholds into the unit square (the hill climber's
+    /// search space).
+    pub fn clamped(self) -> Self {
+        Self {
+            th1: self.th1.clamp(0.0, 1.0),
+            th2: self.th2.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// `P(x aborts | x‖y)`; 0 when the pair was never observed together.
+pub fn conditional_abort_probability(stats: &MergedStats, x: BlockId, y: BlockId) -> f64 {
+    let a = stats.a(x, y) as f64;
+    let c = stats.c(x, y) as f64;
+    if a + c == 0.0 {
+        0.0
+    } else {
+        a / (a + c)
+    }
+}
+
+/// `P(x aborts ∧ x‖y)`; 0 when `x` was never executed.
+pub fn conjunctive_abort_probability(stats: &MergedStats, x: BlockId, y: BlockId) -> f64 {
+    let e = stats.e(x) as f64;
+    if e == 0.0 {
+        0.0
+    } else {
+        stats.a(x, y) as f64 / e
+    }
+}
+
+/// Minimum standard deviation of a row's conditional probabilities for the
+/// Th2 percentile filter to be applied.
+///
+/// The Th2 condition exists to separate genuinely conflicting partners
+/// from false positives of the imprecise `activeTxs` probing — which
+/// presumes the conditional probabilities actually *separate*. When one
+/// atomic block dominates the mix (vacation runs >80% `make-reservation`),
+/// every scan sees it active, the whole row collapses onto the block's
+/// marginal abort rate, and the "percentile of a Gaussian with σ≈0"
+/// degenerates into thresholding measurement noise. In that regime the
+/// conjunctive Th1 condition carries all the usable signal, so the filter
+/// steps aside. (Documented as a robustness deviation in `DESIGN.md` §5;
+/// the paper does not specify behaviour for degenerate rows.)
+pub const MIN_DISCRIMINATIVE_SIGMA: f64 = 0.05;
+
+/// The serialization pairs implied by `stats` under `th`: every `(x, y)`
+/// meeting both conditions of Alg. 5 line 72. Pairs are returned once per
+/// direction evaluated (the caller applies the symmetric lock assignment of
+/// lines 73–74).
+pub fn infer_conflict_pairs(stats: &MergedStats, th: Thresholds) -> Vec<(BlockId, BlockId)> {
+    let n = stats.blocks();
+    let mut pairs = Vec::new();
+    let mut row = Vec::with_capacity(n);
+    for x in 0..n {
+        row.clear();
+        row.extend((0..n).map(|y| conditional_abort_probability(stats, x, y)));
+        let (eta, sigma2) = mean_variance(&row);
+        let discriminative = sigma2.sqrt() >= MIN_DISCRIMINATIVE_SIGMA;
+        let cutoff = gaussian_percentile(eta, sigma2, th.th2);
+        for (y, &cond) in row.iter().enumerate() {
+            let conj = conjunctive_abort_probability(stats, x, y);
+            // Strict inequalities as in the paper; the Th2 percentile only
+            // participates when the row carries discriminative signal.
+            if conj > th.th1 && (!discriminative || cond > cutoff) {
+                pairs.push((x, y));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ThreadStats;
+
+    /// Builds merged stats where block 0 aborted `a01` times with 1 active
+    /// and committed `c01` times with 1 active, out of `e0` executions.
+    fn stats_pairwise(blocks: usize, fill: impl Fn(&mut ThreadStats)) -> MergedStats {
+        let mut t = ThreadStats::new(blocks);
+        fill(&mut t);
+        let mut m = MergedStats::new(blocks);
+        m.merge_from([&t].into_iter());
+        m
+    }
+
+    #[test]
+    fn probabilities_match_definitions() {
+        let m = stats_pairwise(2, |t| {
+            for _ in 0..30 {
+                t.register_abort(0, [1].into_iter());
+            }
+            for _ in 0..10 {
+                t.register_commit(0, [1].into_iter());
+            }
+            for _ in 0..60 {
+                t.register_commit(0, [].into_iter());
+            }
+        });
+        // a01=30, c01=10, e0=100.
+        assert!((conditional_abort_probability(&m, 0, 1) - 0.75).abs() < 1e-12);
+        assert!((conjunctive_abort_probability(&m, 0, 1) - 0.30).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_observations_give_zero_probability() {
+        let m = stats_pairwise(2, |_| {});
+        assert_eq!(conditional_abort_probability(&m, 0, 1), 0.0);
+        assert_eq!(conjunctive_abort_probability(&m, 0, 1), 0.0);
+    }
+
+    #[test]
+    fn frequent_conflicter_is_detected_rare_one_is_not() {
+        // Block 0 aborts heavily when 1 is around, rarely when 2 is around.
+        let m = stats_pairwise(3, |t| {
+            for _ in 0..40 {
+                t.register_abort(0, [1].into_iter());
+            }
+            for _ in 0..2 {
+                t.register_abort(0, [2].into_iter());
+            }
+            for _ in 0..5 {
+                t.register_commit(0, [1].into_iter());
+            }
+            for _ in 0..30 {
+                t.register_commit(0, [2].into_iter());
+            }
+            for _ in 0..23 {
+                t.register_commit(0, [].into_iter());
+            }
+        });
+        // e0 = 100; conj(0,1) = 0.40 > Th1; conj(0,2) = 0.02 < Th1.
+        let pairs = infer_conflict_pairs(&m, Thresholds::default());
+        assert!(pairs.contains(&(0, 1)), "pairs = {pairs:?}");
+        assert!(!pairs.contains(&(0, 2)));
+        assert!(!pairs.contains(&(0, 0)));
+    }
+
+    #[test]
+    fn th1_suppresses_rare_patterns_regardless_of_conditional() {
+        // Conditional probability is 1.0 (always aborts when 1 is around)
+        // but it only happened twice in 100 executions: conjunctive 0.02.
+        let m = stats_pairwise(2, |t| {
+            for _ in 0..2 {
+                t.register_abort(0, [1].into_iter());
+            }
+            for _ in 0..98 {
+                t.register_commit(0, [].into_iter());
+            }
+        });
+        assert_eq!(conditional_abort_probability(&m, 0, 1), 1.0);
+        let pairs = infer_conflict_pairs(&m, Thresholds::default());
+        assert!(pairs.is_empty(), "pairs = {pairs:?}");
+        // Lowering Th1 lets the pair through.
+        let pairs = infer_conflict_pairs(
+            &m,
+            Thresholds {
+                th1: 0.01,
+                th2: 0.8,
+            },
+        );
+        assert!(pairs.contains(&(0, 1)));
+    }
+
+    #[test]
+    fn th2_percentile_separates_suspects_from_noise() {
+        // Block 0 sees blocks 1..=4 equally often; only 1 truly conflicts.
+        // The false positives have low conditional probability; the
+        // percentile cut must single out block 1.
+        let m = stats_pairwise(5, |t| {
+            for _ in 0..35 {
+                t.register_abort(0, [1].into_iter());
+            }
+            for y in 2..5usize {
+                for _ in 0..4 {
+                    t.register_abort(0, [y].into_iter());
+                }
+            }
+            for _ in 0..5 {
+                t.register_commit(0, [1].into_iter());
+            }
+            for y in 2..5usize {
+                for _ in 0..16 {
+                    t.register_commit(0, [y].into_iter());
+                }
+            }
+        });
+        // e0 = 35+12+5+48 = 100. cond(0,1)=0.875, cond(0,y)=0.2.
+        let pairs = infer_conflict_pairs(
+            &m,
+            Thresholds {
+                th1: 0.03,
+                th2: 0.8,
+            },
+        );
+        assert!(pairs.contains(&(0, 1)), "pairs = {pairs:?}");
+        for y in 2..5 {
+            assert!(!pairs.contains(&(0, y)), "false positive {y}: {pairs:?}");
+        }
+    }
+
+    #[test]
+    fn self_conflicts_are_representable() {
+        // x = y is allowed: a block contending with instances of itself.
+        let m = stats_pairwise(2, |t| {
+            for _ in 0..50 {
+                t.register_abort(0, [0].into_iter());
+            }
+            for _ in 0..50 {
+                t.register_commit(0, [].into_iter());
+            }
+        });
+        let pairs = infer_conflict_pairs(&m, Thresholds::default());
+        assert!(pairs.contains(&(0, 0)), "pairs = {pairs:?}");
+    }
+
+    #[test]
+    fn thresholds_clamp() {
+        let t = Thresholds { th1: -0.2, th2: 1.7 }.clamped();
+        assert_eq!(t.th1, 0.0);
+        assert_eq!(t.th2, 1.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Commit/abort statistics matrices (paper Table 2, Fig. 2 steps 3–5).
+//!
+//! Each thread owns private `commitStats` / `abortStats` matrices and an
+//! `executions` array, updated without synchronization on every commit and
+//! abort by scanning `activeTxs` (Alg. 3). Periodically the per-thread
+//! matrices are summed into merged global matrices that feed the
+//! probabilistic inference (Alg. 5). Entry `[x][y]` counts events of block
+//! `x` during which block `y` was observed running concurrently.
+
+use seer_runtime::BlockId;
+
+/// One thread's private statistics (a row-major `blocks × blocks` pair of
+/// matrices plus the executions vector).
+#[derive(Debug, Clone)]
+pub struct ThreadStats {
+    blocks: usize,
+    commit: Vec<u64>,
+    abort: Vec<u64>,
+    executions: Vec<u64>,
+}
+
+impl ThreadStats {
+    /// Zeroed statistics over `blocks` atomic blocks.
+    pub fn new(blocks: usize) -> Self {
+        Self {
+            blocks,
+            commit: vec![0; blocks * blocks],
+            abort: vec![0; blocks * blocks],
+            executions: vec![0; blocks],
+        }
+    }
+
+    /// REGISTER-COMMIT: block `x` committed while `concurrent` blocks were
+    /// announced by other threads.
+    pub fn register_commit(&mut self, x: BlockId, concurrent: impl Iterator<Item = BlockId>) {
+        self.executions[x] += 1;
+        for y in concurrent {
+            self.commit[x * self.blocks + y] += 1;
+        }
+    }
+
+    /// REGISTER-ABORT: block `x` aborted while `concurrent` blocks were
+    /// announced by other threads.
+    pub fn register_abort(&mut self, x: BlockId, concurrent: impl Iterator<Item = BlockId>) {
+        self.executions[x] += 1;
+        for y in concurrent {
+            self.abort[x * self.blocks + y] += 1;
+        }
+    }
+
+    /// Raw commit count for the pair `(x, y)`.
+    pub fn commits(&self, x: BlockId, y: BlockId) -> u64 {
+        self.commit[x * self.blocks + y]
+    }
+
+    /// Raw abort count for the pair `(x, y)`.
+    pub fn aborts(&self, x: BlockId, y: BlockId) -> u64 {
+        self.abort[x * self.blocks + y]
+    }
+
+    /// Total executions (commits + aborts) of block `x`.
+    pub fn executions(&self, x: BlockId) -> u64 {
+        self.executions[x]
+    }
+
+    /// Halves every counter (integer division). Applied periodically, this
+    /// turns the matrices into exponentially-decayed frequency estimates,
+    /// so conflict relations that stopped occurring fade out — the
+    /// adaptivity the paper's self-tuning discussion targets for
+    /// "time varying workloads".
+    pub fn decay(&mut self) {
+        for v in self
+            .commit
+            .iter_mut()
+            .chain(self.abort.iter_mut())
+            .chain(self.executions.iter_mut())
+        {
+            *v /= 2;
+        }
+    }
+}
+
+/// The merged global matrices (Fig. 2 step 5).
+#[derive(Debug, Clone)]
+pub struct MergedStats {
+    blocks: usize,
+    /// Merged `commitStats`.
+    pub commit: Vec<u64>,
+    /// Merged `abortStats`.
+    pub abort: Vec<u64>,
+    /// Merged `executions`.
+    pub executions: Vec<u64>,
+}
+
+impl MergedStats {
+    /// Zeroed merged matrices over `blocks` atomic blocks.
+    pub fn new(blocks: usize) -> Self {
+        Self {
+            blocks,
+            commit: vec![0; blocks * blocks],
+            abort: vec![0; blocks * blocks],
+            executions: vec![0; blocks],
+        }
+    }
+
+    /// Recomputes the merge as the element-wise sum of `threads`' matrices.
+    pub fn merge_from<'a>(&mut self, threads: impl Iterator<Item = &'a ThreadStats>) {
+        self.commit.iter_mut().for_each(|v| *v = 0);
+        self.abort.iter_mut().for_each(|v| *v = 0);
+        self.executions.iter_mut().for_each(|v| *v = 0);
+        for t in threads {
+            debug_assert_eq!(t.blocks, self.blocks, "mismatched block counts");
+            for (dst, src) in self.commit.iter_mut().zip(&t.commit) {
+                *dst += *src;
+            }
+            for (dst, src) in self.abort.iter_mut().zip(&t.abort) {
+                *dst += *src;
+            }
+            for (dst, src) in self.executions.iter_mut().zip(&t.executions) {
+                *dst += *src;
+            }
+        }
+    }
+
+    /// Number of atomic blocks.
+    pub fn blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// `commitStats[x][y]` — abbreviated `c_x,y` in the paper.
+    pub fn c(&self, x: BlockId, y: BlockId) -> u64 {
+        self.commit[x * self.blocks + y]
+    }
+
+    /// `abortStats[x][y]` — abbreviated `a_x,y` in the paper.
+    pub fn a(&self, x: BlockId, y: BlockId) -> u64 {
+        self.abort[x * self.blocks + y]
+    }
+
+    /// `executions[x]` — abbreviated `e_x` in the paper.
+    pub fn e(&self, x: BlockId) -> u64 {
+        self.executions[x]
+    }
+
+    /// Total executions over all blocks (the "enough samples" signal for
+    /// the self-tuning mechanism).
+    pub fn total_executions(&self) -> u64 {
+        self.executions.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_paths_update_matrices() {
+        let mut s = ThreadStats::new(3);
+        s.register_abort(0, [1, 2].into_iter());
+        s.register_abort(0, [1].into_iter());
+        s.register_commit(0, [1].into_iter());
+        s.register_commit(2, [].into_iter());
+        assert_eq!(s.aborts(0, 1), 2);
+        assert_eq!(s.aborts(0, 2), 1);
+        assert_eq!(s.commits(0, 1), 1);
+        assert_eq!(s.executions(0), 3);
+        assert_eq!(s.executions(2), 1);
+        assert_eq!(s.executions(1), 0);
+    }
+
+    #[test]
+    fn merge_is_elementwise_sum() {
+        let mut a = ThreadStats::new(2);
+        a.register_abort(0, [1].into_iter());
+        a.register_commit(1, [0].into_iter());
+        let mut b = ThreadStats::new(2);
+        b.register_abort(0, [1].into_iter());
+        b.register_abort(1, [0].into_iter());
+
+        let mut m = MergedStats::new(2);
+        m.merge_from([&a, &b].into_iter());
+        assert_eq!(m.a(0, 1), 2);
+        assert_eq!(m.a(1, 0), 1);
+        assert_eq!(m.c(1, 0), 1);
+        assert_eq!(m.e(0), 2);
+        assert_eq!(m.e(1), 2);
+        assert_eq!(m.total_executions(), 4);
+    }
+
+    #[test]
+    fn decay_halves_all_counters() {
+        let mut s = ThreadStats::new(2);
+        for _ in 0..10 {
+            s.register_abort(0, [1].into_iter());
+        }
+        for _ in 0..5 {
+            s.register_commit(1, [0].into_iter());
+        }
+        s.decay();
+        assert_eq!(s.aborts(0, 1), 5);
+        assert_eq!(s.commits(1, 0), 2);
+        assert_eq!(s.executions(0), 5);
+        assert_eq!(s.executions(1), 2);
+        // Probabilities are (approximately) preserved under decay.
+        s.decay();
+        s.decay();
+        s.decay();
+        assert_eq!(s.aborts(0, 1), 0, "counters fade to zero");
+    }
+
+    #[test]
+    fn merge_overwrites_previous_content() {
+        let mut t = ThreadStats::new(2);
+        t.register_abort(0, [1].into_iter());
+        let mut m = MergedStats::new(2);
+        m.merge_from([&t].into_iter());
+        m.merge_from([&t].into_iter());
+        // Re-merging the same input must not double-count.
+        assert_eq!(m.a(0, 1), 1);
+        assert_eq!(m.e(0), 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates the §5.3 core-locks-only ablation: geometric-mean speedup
+//! of Seer with only core locks enabled, relative to profile-only Seer.
+//! The paper reports +9% at 6 threads and +22% at 8 threads.
+
+use seer_harness::{core_locks_only, env_config, maybe_write_json};
+
+fn main() {
+    let cfg = env_config();
+    eprintln!("ablation_core_locks: seeds={} scale={}", cfg.seeds, cfg.scale);
+    let panel = core_locks_only(&cfg, &[2, 4, 6, 8]);
+    print!("{}", panel.render());
+    if maybe_write_json(&panel).expect("writing JSON report") {
+        eprintln!("ablation_core_locks: JSON written to $SEER_REPORT_JSON");
+    }
+}

@@ -1,0 +1,26 @@
+//! Extra experiment: how accurate is Seer's probabilistic inference?
+//!
+//! The simulator records the true killer of every conflict abort — an
+//! oracle no real HTM provides. This binary compares Seer's inferred
+//! serialization pairs against that ground truth (pairs responsible for
+//! at least 5% of a run's kills), per benchmark at 8 threads.
+
+use seer_harness::{inference_accuracy, maybe_write_json};
+
+fn main() {
+    let scale = std::env::var("SEER_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let results = inference_accuracy(8, scale, 0.05);
+    println!("{:<16}{:>10}{:>10}{:>10}{:>8}", "benchmark", "precision", "recall", "inferred", "truth");
+    for r in &results {
+        println!(
+            "{:<16}{:>10.2}{:>10.2}{:>10}{:>8}",
+            r.benchmark, r.precision, r.recall, r.inferred, r.truth
+        );
+    }
+    if maybe_write_json(&results).expect("writing JSON report") {
+        eprintln!("accuracy: JSON written to $SEER_REPORT_JSON");
+    }
+}

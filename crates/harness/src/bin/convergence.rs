@@ -1,0 +1,28 @@
+//! Extra experiment: convergence speed of Seer's probabilistic inference.
+//!
+//! Prints, per benchmark at 8 threads, when the inferred locking scheme
+//! last changed (as virtual time and as a fraction of the run), and how
+//! many recomputations ran. The paper's §5.3 notes that its "relatively
+//! aggressive" monitoring rates exist because STAMP runs are short — this
+//! quantifies how much of a run the inference actually needs.
+
+use seer_harness::{convergence, maybe_write_json};
+
+fn main() {
+    let scale = std::env::var("SEER_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
+    let results = convergence(8, scale);
+    println!(
+        "{:<16}{:>16}{:>14}{:>12}{:>10}",
+        "benchmark", "converged@cycle", "makespan", "fraction", "updates"
+    );
+    for r in &results {
+        let (at, frac) = match (r.converged_at, r.converged_fraction) {
+            (Some(a), Some(f)) => (a.to_string(), format!("{:.0}%", f * 100.0)),
+            _ => ("never locked".to_string(), "-".to_string()),
+        };
+        println!("{:<16}{:>16}{:>14}{:>12}{:>10}", r.benchmark, at, r.makespan, frac, r.updates);
+    }
+    if maybe_write_json(&results).expect("writing JSON report") {
+        eprintln!("convergence: JSON written to $SEER_REPORT_JSON");
+    }
+}

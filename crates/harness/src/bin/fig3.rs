@@ -1,0 +1,17 @@
+//! Regenerates Figure 3: speedup of HLE/RTM/SCM/Seer over sequential
+//! execution, per STAMP benchmark (panels a-h) and geometric mean (i).
+
+use seer_harness::{env_config, figure3, maybe_write_json, THREADS_FULL};
+
+fn main() {
+    let cfg = env_config();
+    eprintln!("fig3: seeds={} scale={} (set SEER_SEEDS / SEER_SCALE to adjust)", cfg.seeds, cfg.scale);
+    let panels = figure3(&cfg, &THREADS_FULL);
+    for p in &panels {
+        print!("{}", p.render());
+        println!();
+    }
+    if maybe_write_json(&panels).expect("writing JSON report") {
+        eprintln!("fig3: JSON written to $SEER_REPORT_JSON");
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 5: cumulative contribution of each Seer mechanism
+//! (tx locks, core locks, HTM lock acquisition, hill climbing), shown as
+//! speedup relative to the profile-only variant.
+
+use seer_harness::{env_config, figure5, maybe_write_json, THREADS_TABLE};
+
+fn main() {
+    let cfg = env_config();
+    eprintln!("fig5: seeds={} scale={}", cfg.seeds, cfg.scale);
+    let panels = figure5(&cfg, &THREADS_TABLE);
+    for p in &panels {
+        print!("{}", p.render());
+        println!();
+    }
+    if maybe_write_json(&panels).expect("writing JSON report") {
+        eprintln!("fig5: JSON written to $SEER_REPORT_JSON");
+    }
+}

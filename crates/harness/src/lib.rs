@@ -1,0 +1,49 @@
+//! # seer-harness — regenerating the paper's evaluation
+//!
+//! One function per table/figure of the Seer paper's §5 (see
+//! `DESIGN.md` §4 for the experiment index), plus the binaries that render
+//! them:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `fig3` | Figure 3 (a–i): speedups of HLE/RTM/SCM/Seer across STAMP |
+//! | `table3` | Table 3: commit-mode breakdown per policy |
+//! | `fig4` | Figure 4: profiling/inference overhead of Seer vs RTM |
+//! | `fig5` | Figure 5: cumulative mechanism ablation |
+//! | `ablation_core_locks` | §5.3: core-locks-only gains |
+//! | `accuracy` | extra: inferred conflict pairs vs simulator ground truth |
+//! | `fine_grained` | extra: the paper's future-work (block × structure) locks |
+//! | `convergence` | extra: when the inferred locking scheme stabilizes |
+//!
+//! Environment knobs: `SEER_SEEDS` (seeds averaged per cell, default 3),
+//! `SEER_SCALE` (work scale factor, default 1.0), `SEER_REPORT_JSON`
+//! (write structured results to a JSON file as well).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod policy;
+pub mod report;
+pub mod runner;
+
+pub use experiments::{
+    convergence, core_locks_only, figure3, figure4, figure5, fine_grained, inference_accuracy,
+    table3, AccuracyResult, ConvergenceResult, FineGrainedResult, THREADS_FULL, THREADS_TABLE,
+};
+pub use policy::PolicyKind;
+pub use report::{maybe_write_json, Panel, PercentTable, Series};
+pub use runner::{geometric_mean, run_cell, run_once, Cell, CellResult, HarnessConfig};
+
+/// Reads the common environment configuration for the binaries.
+pub fn env_config() -> HarnessConfig {
+    let mut cfg = HarnessConfig::default();
+    if let Ok(scale) = std::env::var("SEER_SCALE") {
+        if let Ok(s) = scale.parse::<f64>() {
+            if s > 0.0 {
+                cfg.scale = s;
+            }
+        }
+    }
+    cfg
+}

@@ -1,0 +1,130 @@
+//! Named scheduler configurations used by the experiments.
+
+use seer::{Seer, SeerConfig};
+use seer_baselines::{Ats, Hle, Rtm, Scm};
+use seer_runtime::Scheduler;
+
+/// Every scheduler variant the evaluation section exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Hardware lock elision (Figure 3 baseline).
+    Hle,
+    /// Software retry + wait-on-SGL (Figure 3 baseline).
+    Rtm,
+    /// Software-assisted conflict management (Figure 3 baseline).
+    Scm,
+    /// Adaptive transaction scheduling (extra series; Table 1).
+    Ats,
+    /// Full Seer.
+    Seer,
+    /// Seer with all monitoring but no lock acquisition (Figure 4).
+    SeerProfileOnly,
+    /// Figure 5 cumulative variant: + transaction locks.
+    SeerPlusTxLocks,
+    /// Figure 5 cumulative variant: + core locks.
+    SeerPlusCoreLocks,
+    /// Figure 5 cumulative variant: + HTM multi-CAS lock acquisition.
+    SeerPlusHtmLocks,
+    /// Figure 5 cumulative variant: + hill climbing (== full Seer).
+    SeerPlusHillClimbing,
+    /// §5.3 ablation: core locks only.
+    SeerCoreLocksOnly,
+}
+
+impl PolicyKind {
+    /// The four curves of Figure 3, in the paper's legend order.
+    pub const FIGURE3: [PolicyKind; 4] = [
+        PolicyKind::Hle,
+        PolicyKind::Rtm,
+        PolicyKind::Scm,
+        PolicyKind::Seer,
+    ];
+
+    /// The cumulative variants of Figure 5, in presentation order. The
+    /// profile-only variant is the figure's baseline (speedup 1.0).
+    pub const FIGURE5: [PolicyKind; 5] = [
+        PolicyKind::SeerProfileOnly,
+        PolicyKind::SeerPlusTxLocks,
+        PolicyKind::SeerPlusCoreLocks,
+        PolicyKind::SeerPlusHtmLocks,
+        PolicyKind::SeerPlusHillClimbing,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Hle => "HLE",
+            PolicyKind::Rtm => "RTM",
+            PolicyKind::Scm => "SCM",
+            PolicyKind::Ats => "ATS",
+            PolicyKind::Seer => "Seer",
+            PolicyKind::SeerProfileOnly => "Seer(profile-only)",
+            PolicyKind::SeerPlusTxLocks => "+ tx-locks",
+            PolicyKind::SeerPlusCoreLocks => "+ core-locks",
+            PolicyKind::SeerPlusHtmLocks => "+ htm locks",
+            PolicyKind::SeerPlusHillClimbing => "+ hill climbing",
+            PolicyKind::SeerCoreLocksOnly => "Seer(core-locks-only)",
+        }
+    }
+
+    /// Instantiates the scheduler for a run with `threads` threads over a
+    /// program with `blocks` atomic blocks.
+    pub fn build(self, threads: usize, blocks: usize) -> Box<dyn Scheduler> {
+        match self {
+            PolicyKind::Hle => Box::new(Hle::default()),
+            PolicyKind::Rtm => Box::new(Rtm::default()),
+            PolicyKind::Scm => Box::new(Scm::default()),
+            PolicyKind::Ats => Box::new(Ats::new(threads)),
+            PolicyKind::Seer => Box::new(Seer::new(SeerConfig::full(), threads, blocks)),
+            PolicyKind::SeerProfileOnly => {
+                Box::new(Seer::new(SeerConfig::profile_only(), threads, blocks))
+            }
+            PolicyKind::SeerPlusTxLocks => {
+                Box::new(Seer::new(SeerConfig::plus_tx_locks(), threads, blocks))
+            }
+            PolicyKind::SeerPlusCoreLocks => {
+                Box::new(Seer::new(SeerConfig::plus_core_locks(), threads, blocks))
+            }
+            PolicyKind::SeerPlusHtmLocks => {
+                Box::new(Seer::new(SeerConfig::plus_htm_locks(), threads, blocks))
+            }
+            PolicyKind::SeerPlusHillClimbing => {
+                Box::new(Seer::new(SeerConfig::plus_hill_climbing(), threads, blocks))
+            }
+            PolicyKind::SeerCoreLocksOnly => {
+                Box::new(Seer::new(SeerConfig::core_locks_only(), threads, blocks))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_members() {
+        let labels: Vec<_> = PolicyKind::FIGURE3.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["HLE", "RTM", "SCM", "Seer"]);
+    }
+
+    #[test]
+    fn all_policies_build() {
+        for p in [
+            PolicyKind::Hle,
+            PolicyKind::Rtm,
+            PolicyKind::Scm,
+            PolicyKind::Ats,
+            PolicyKind::Seer,
+            PolicyKind::SeerProfileOnly,
+            PolicyKind::SeerPlusTxLocks,
+            PolicyKind::SeerPlusCoreLocks,
+            PolicyKind::SeerPlusHtmLocks,
+            PolicyKind::SeerPlusHillClimbing,
+            PolicyKind::SeerCoreLocksOnly,
+        ] {
+            let s = p.build(8, 5);
+            assert!(s.attempt_budget() > 0, "{} has no budget", p.label());
+        }
+    }
+}

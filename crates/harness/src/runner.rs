@@ -1,0 +1,173 @@
+//! Experiment runner: one configuration → seed-averaged measurements.
+
+use seer_runtime::{run, DriverConfig, RunMetrics, TxMode, Workload};
+use seer_stamp::Benchmark;
+
+use crate::policy::PolicyKind;
+
+/// A single experiment cell: benchmark × policy × thread count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Workload model.
+    pub benchmark: Benchmark,
+    /// Scheduler variant.
+    pub policy: PolicyKind,
+    /// Simulated threads.
+    pub threads: usize,
+}
+
+/// Harness-wide settings.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessConfig {
+    /// Seeds to average over (the paper averages 20 hardware runs; the
+    /// simulator's only run-to-run variance is the seed).
+    pub seeds: u64,
+    /// Scale factor on each benchmark's default transactions-per-thread
+    /// (1.0 = the full default; smaller for quick benches).
+    pub scale: f64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            seeds: default_seeds(),
+            scale: 1.0,
+        }
+    }
+}
+
+fn default_seeds() -> u64 {
+    std::env::var("SEER_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// Seed-averaged measurements of one experiment cell.
+#[derive(Debug, Clone, Default)]
+pub struct CellResult {
+    /// Mean speedup over the sequential execution.
+    pub speedup: f64,
+    /// Mean aborts per commit.
+    pub abort_ratio: f64,
+    /// Mean fraction of commits per transaction mode (Table 3 order).
+    pub mode_fractions: [f64; 6],
+    /// Mean fraction of commits that used the SGL fall-back.
+    pub fallback_fraction: f64,
+    /// Mean of the per-run median fraction of available transaction locks
+    /// taken by lock-acquiring transactions (§5.2), if any run acquired.
+    pub median_tx_lock_fraction: Option<f64>,
+}
+
+/// Runs `cell` once per seed and averages the measurements.
+pub fn run_cell(cell: Cell, cfg: &HarnessConfig) -> CellResult {
+    let mut acc = CellResult::default();
+    let mut lock_fraction_acc = 0.0;
+    let mut lock_fraction_n = 0u64;
+    for seed in 0..cfg.seeds {
+        let m = run_once(cell, seed, cfg.scale);
+        acc.speedup += m.speedup();
+        acc.abort_ratio += m.abort_ratio();
+        acc.fallback_fraction += m.fallback_fraction();
+        for (i, mode) in TxMode::ALL.iter().enumerate() {
+            acc.mode_fractions[i] += m.modes.fraction(*mode);
+        }
+        if let Some(f) = m.median_tx_lock_fraction() {
+            lock_fraction_acc += f;
+            lock_fraction_n += 1;
+        }
+    }
+    let n = cfg.seeds as f64;
+    acc.speedup /= n;
+    acc.abort_ratio /= n;
+    acc.fallback_fraction /= n;
+    for f in &mut acc.mode_fractions {
+        *f /= n;
+    }
+    acc.median_tx_lock_fraction = if lock_fraction_n > 0 {
+        Some(lock_fraction_acc / lock_fraction_n as f64)
+    } else {
+        None
+    };
+    acc
+}
+
+/// Runs one seed of `cell` and returns the raw metrics.
+pub fn run_once(cell: Cell, seed: u64, scale: f64) -> RunMetrics {
+    let txs = ((cell.benchmark.default_txs() as f64 * scale) as usize).max(20);
+    let mut workload = cell.benchmark.instantiate(cell.threads, txs);
+    let blocks = workload.num_blocks();
+    let mut sched = cell.policy.build(cell.threads, blocks);
+    // Distinct base per seed, deterministic per (cell, seed).
+    let cfg = DriverConfig::paper_machine(cell.threads, 0x5EE2 + seed * 7919);
+    let metrics = run(&mut *workload_as_dyn(&mut workload), sched.as_mut(), &cfg);
+    assert!(!metrics.truncated, "run truncated: {cell:?} seed {seed}");
+    metrics
+}
+
+fn workload_as_dyn(w: &mut seer_stamp::StampModel) -> &mut dyn Workload {
+    w
+}
+
+/// Geometric mean of positive values; 0 for an empty slice.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            debug_assert!(v > 0.0, "geometric mean of non-positive value {v}");
+            v.max(f64::MIN_POSITIVE).ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_cell_is_deterministic() {
+        let cell = Cell {
+            benchmark: Benchmark::Ssca2,
+            policy: PolicyKind::Rtm,
+            threads: 4,
+        };
+        let cfg = HarnessConfig {
+            seeds: 2,
+            scale: 0.1,
+        };
+        let a = run_cell(cell, &cfg);
+        let b = run_cell(cell, &cfg);
+        assert_eq!(a.speedup, b.speedup);
+        assert_eq!(a.abort_ratio, b.abort_ratio);
+        assert!(a.speedup > 0.0);
+    }
+
+    #[test]
+    fn mode_fractions_sum_to_one() {
+        let cell = Cell {
+            benchmark: Benchmark::KmeansHigh,
+            policy: PolicyKind::Seer,
+            threads: 4,
+        };
+        let cfg = HarnessConfig {
+            seeds: 1,
+            scale: 0.2,
+        };
+        let r = run_cell(cell, &cfg);
+        let total: f64 = r.mode_fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "fractions sum to {total}");
+    }
+}

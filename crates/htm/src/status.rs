@@ -1,0 +1,187 @@
+//! TSX-style transaction status word.
+//!
+//! Intel TSX reports the outcome of `xbegin` through EAX: either the
+//! sentinel `_XBEGIN_STARTED` (all ones) or a *coarse* bitmask describing
+//! the abort — explicit, may-retry, data conflict, capacity overflow, debug,
+//! nested. Crucially the mask never identifies the conflicting transaction
+//! or the address involved; that information gap is the entire motivation
+//! for Seer (paper §1, Figure 1). This module reproduces the interface
+//! faithfully so that schedulers built on it can observe exactly as much as
+//! they could on real hardware, and no more.
+
+/// Abort-cause bits, mirroring Intel's `_XABORT_*` flags.
+pub mod bits {
+    /// Aborted by an explicit `xabort` instruction (e.g. the early-subscription
+    /// check of the fall-back lock, Alg. 1 line 12).
+    pub const EXPLICIT: u32 = 1 << 0;
+    /// The hardware suggests the transaction may succeed on retry.
+    pub const RETRY: u32 = 1 << 1;
+    /// A data conflict with another logical processor was detected.
+    pub const CONFLICT: u32 = 1 << 2;
+    /// A read- or write-set buffer overflowed (cache capacity exceeded).
+    pub const CAPACITY: u32 = 1 << 3;
+    /// A debug breakpoint was hit (modelled but unused by the schedulers).
+    pub const DEBUG: u32 = 1 << 4;
+    /// Abort happened inside a nested transaction.
+    pub const NESTED: u32 = 1 << 5;
+}
+
+/// Status word returned by [`XStatus::started`] or carrying abort causes.
+///
+/// `XStatus` deliberately exposes only what TSX exposes. The simulator's
+/// internal ground truth (who actually killed whom) lives in the runtime's
+/// metrics and is *never* visible to a scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct XStatus(u32);
+
+/// The value TSX writes to EAX when a transaction successfully starts.
+const XBEGIN_STARTED: u32 = u32::MAX;
+
+impl XStatus {
+    /// The "transaction is running" sentinel (`_XBEGIN_STARTED`).
+    pub fn started() -> Self {
+        Self(XBEGIN_STARTED)
+    }
+
+    /// An abort status with the given cause bits and explicit-abort code.
+    ///
+    /// The `code` occupies bits 24..32 like TSX's `_XABORT_CODE`, and is only
+    /// meaningful when [`bits::EXPLICIT`] is set.
+    pub fn aborted(cause_bits: u32, code: u8) -> Self {
+        debug_assert!(cause_bits & 0xFF00_0000 == 0, "cause bits overlap code");
+        debug_assert_ne!(cause_bits, XBEGIN_STARTED);
+        Self(cause_bits | (u32::from(code) << 24))
+    }
+
+    /// A data-conflict abort, marked retryable (the common TSX encoding).
+    pub fn conflict() -> Self {
+        Self::aborted(bits::CONFLICT | bits::RETRY, 0)
+    }
+
+    /// A capacity abort (not marked retryable: retrying the same footprint
+    /// will overflow again unless conditions change).
+    pub fn capacity() -> Self {
+        Self::aborted(bits::CAPACITY, 0)
+    }
+
+    /// An explicit abort with a software-defined code.
+    pub fn explicit(code: u8) -> Self {
+        Self::aborted(bits::EXPLICIT, code)
+    }
+
+    /// An abort with no cause bits set at all — TSX does this for
+    /// asynchronous events such as interrupts, page faults and ring
+    /// transitions. Schedulers cannot distinguish these further.
+    pub fn other() -> Self {
+        Self(0)
+    }
+
+    /// True when this is the `_XBEGIN_STARTED` sentinel.
+    pub fn is_started(self) -> bool {
+        self.0 == XBEGIN_STARTED
+    }
+
+    /// True when the abort was caused by a data conflict.
+    pub fn is_conflict(self) -> bool {
+        !self.is_started() && self.0 & bits::CONFLICT != 0
+    }
+
+    /// True when the abort was caused by capacity overflow.
+    pub fn is_capacity(self) -> bool {
+        !self.is_started() && self.0 & bits::CAPACITY != 0
+    }
+
+    /// True when the abort was raised by an explicit `xabort`.
+    pub fn is_explicit(self) -> bool {
+        !self.is_started() && self.0 & bits::EXPLICIT != 0
+    }
+
+    /// True when the hardware hints the transaction may succeed on retry.
+    pub fn may_retry(self) -> bool {
+        !self.is_started() && self.0 & bits::RETRY != 0
+    }
+
+    /// True for the "no cause bits" asynchronous-event abort.
+    pub fn is_other(self) -> bool {
+        self.0 & 0x00FF_FFFF == 0 && !self.is_started()
+    }
+
+    /// The 8-bit code passed to an explicit `xabort`, if any.
+    pub fn explicit_code(self) -> Option<u8> {
+        if self.is_explicit() {
+            Some((self.0 >> 24) as u8)
+        } else {
+            None
+        }
+    }
+
+    /// Raw status word, as software would read it from EAX.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// Software-defined explicit-abort codes used by the runtime.
+pub mod xabort_codes {
+    /// The transaction saw the single-global fall-back lock held right after
+    /// starting and self-aborted (Alg. 1 lines 11–12).
+    pub const SGL_LOCKED: u8 = 0xA0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn started_sentinel() {
+        let s = XStatus::started();
+        assert!(s.is_started());
+        assert!(!s.is_conflict());
+        assert!(!s.is_capacity());
+        assert!(!s.is_explicit());
+        assert!(!s.is_other());
+        assert_eq!(s.raw(), u32::MAX);
+    }
+
+    #[test]
+    fn conflict_is_retryable() {
+        let s = XStatus::conflict();
+        assert!(s.is_conflict());
+        assert!(s.may_retry());
+        assert!(!s.is_capacity());
+        assert!(!s.is_started());
+    }
+
+    #[test]
+    fn capacity_is_not_retryable() {
+        let s = XStatus::capacity();
+        assert!(s.is_capacity());
+        assert!(!s.may_retry());
+        assert!(!s.is_conflict());
+    }
+
+    #[test]
+    fn explicit_carries_code() {
+        let s = XStatus::explicit(xabort_codes::SGL_LOCKED);
+        assert!(s.is_explicit());
+        assert_eq!(s.explicit_code(), Some(xabort_codes::SGL_LOCKED));
+        assert!(!s.is_other());
+    }
+
+    #[test]
+    fn other_has_no_cause() {
+        let s = XStatus::other();
+        assert!(s.is_other());
+        assert!(!s.is_conflict());
+        assert!(!s.is_capacity());
+        assert!(!s.is_explicit());
+        assert!(!s.may_retry());
+        assert_eq!(s.explicit_code(), None);
+    }
+
+    #[test]
+    fn non_explicit_has_no_code() {
+        assert_eq!(XStatus::conflict().explicit_code(), None);
+        assert_eq!(XStatus::capacity().explicit_code(), None);
+    }
+}

@@ -1,0 +1,1018 @@
+//! The discrete-event simulation driver.
+//!
+//! [`run`] executes a [`Workload`] over the simulated HTM machine under a
+//! [`Scheduler`], in virtual time, and returns [`RunMetrics`]. The driver
+//! owns the generic structure of Algorithm 1 of the paper — the retry loop,
+//! the attempt budget, the single-global-lock (SGL) fall-back, the
+//! begin-time SGL subscription — while the scheduler-specific behaviour
+//! (waits, extra locks, statistics) is injected through the [`Scheduler`]
+//! callbacks.
+//!
+//! ## Thread lifecycle
+//!
+//! ```text
+//!           next()                gates pass              commit point
+//! Thinking ───────► Gating ───────────────► Running ───────────────► (next tx)
+//!    ▲                │  ▲                     │ abort (conflict /
+//!    │                │  │ retry gates         │  capacity / async /
+//!    │                │  └─────────────────────┤  sgl-subscription)
+//!    │                │ budget exhausted or    │
+//!    │                ▼ scheduler says so      ▼
+//!    └──────── FallbackRunning ◄────────── Gating(Acquire SGL)
+//! ```
+//!
+//! Every transition bumps the thread's *epoch*; scheduled events carry the
+//! epoch they were created under and are dropped if stale, which is how
+//! asynchronous aborts cancel a victim's in-flight access/commit events.
+//!
+//! ## Deadlock freedom
+//!
+//! Multi-lock acquisitions go through [`Gate::AcquireMany`], which acquires
+//! in canonical [`LockId`] order; adding a lock to an already-held set is
+//! expressed as [`Gate::ReleaseHeld`] followed by a fresh ordered
+//! acquisition. Advisory waits ([`Gate::WaitWhileLocked`]) carry a patience
+//! bound, so the cooperative waiting of `WAIT-Seer-LOCKS` can never wedge
+//! the system (the underlying HTM, not the waits, guarantees correctness).
+
+use seer_htm::{xabort_codes, CostModel, HtmConfig, HtmMachine, XStatus};
+use seer_sim::{Cycles, EventQueue, SimRng, ThreadId, Topology};
+
+use crate::locks::{LockBank, LockId};
+use crate::metrics::{RunMetrics, TxMode};
+use crate::scheduler::{AbortDecision, Gate, HookPoint, SchedEnv, Scheduler};
+use crate::workload::{TxRequest, Workload};
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Machine shape. Threads are pinned: thread `i` runs on logical CPU `i`.
+    pub topology: Topology,
+    /// Number of simulated threads (≤ logical CPUs).
+    pub threads: usize,
+    /// HTM buffer geometry.
+    pub htm: HtmConfig,
+    /// Latency model.
+    pub costs: CostModel,
+    /// RNG seed; a run is a pure function of `(workload, scheduler, config)`.
+    pub seed: u64,
+    /// Interval of the scheduler maintenance tick, if any.
+    pub periodic_tick: Option<Cycles>,
+    /// Patience bound for advisory waits (see module docs).
+    pub wait_patience: Cycles,
+    /// Slowdown factor applied to the execution speed of threads whose
+    /// physical core hosts another simulated thread (SMT resource
+    /// sharing): each such thread's cycles stretch by this factor. 1.0
+    /// disables the effect.
+    pub smt_slowdown: f64,
+    /// Safety valve: abort the simulation after this many events.
+    pub max_events: u64,
+}
+
+impl DriverConfig {
+    /// The paper's setup: 4-core × 2-SMT machine, default costs, a 200k-cycle
+    /// maintenance tick, running `threads` simulated threads.
+    pub fn paper_machine(threads: usize, seed: u64) -> Self {
+        Self {
+            topology: Topology::haswell_e3(),
+            threads,
+            htm: HtmConfig::default(),
+            costs: CostModel::default(),
+            seed,
+            periodic_tick: Some(200_000),
+            wait_patience: 100_000,
+            smt_slowdown: 1.5,
+            max_events: 400_000_000,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Thinking,
+    Gating,
+    Running,
+    FallbackRunning,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AfterGates {
+    BeginAttempt,
+    StartFallback,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    ThinkDone { th: ThreadId, epoch: u64 },
+    GateResume { th: ThreadId, epoch: u64 },
+    Access { th: ThreadId, epoch: u64, idx: usize },
+    AsyncAbort { th: ThreadId, epoch: u64 },
+    CommitPoint { th: ThreadId, epoch: u64 },
+    FallbackDone { th: ThreadId, epoch: u64 },
+    Tick,
+}
+
+struct ThreadCtx {
+    req: Option<TxRequest>,
+    attempts_left: u32,
+    attempts_used: u32,
+    epoch: u64,
+    phase: Phase,
+    held: Vec<LockId>,
+    pending_gates: Vec<Gate>,
+    after_gates: AfterGates,
+    gates_entered_at: Cycles,
+    park_start: Option<Cycles>,
+    pending_delay: Cycles,
+    body_start: Cycles,
+    finished_at: Cycles,
+}
+
+impl ThreadCtx {
+    fn new() -> Self {
+        Self {
+            req: None,
+            attempts_left: 0,
+            attempts_used: 0,
+            epoch: 0,
+            phase: Phase::Thinking,
+            held: Vec::new(),
+            pending_gates: Vec::new(),
+            after_gates: AfterGates::BeginAttempt,
+            gates_entered_at: 0,
+            park_start: None,
+            pending_delay: 0,
+            body_start: 0,
+            finished_at: 0,
+        }
+    }
+
+    fn block(&self) -> usize {
+        self.req.as_ref().expect("thread has no active request").block
+    }
+}
+
+/// Runs `workload` under `sched` on the configured machine and returns the
+/// collected metrics.
+///
+/// ```
+/// use seer_runtime::synthetic::{SyntheticSpec, SyntheticWorkload};
+/// use seer_runtime::{run, DriverConfig, NullScheduler};
+///
+/// let mut workload =
+///     SyntheticWorkload::new(SyntheticSpec::low_contention_hashmap(25), 4);
+/// let mut sched = NullScheduler::new(5);
+/// let metrics = run(&mut workload, &mut sched, &DriverConfig::paper_machine(4, 7));
+/// assert_eq!(metrics.commits, 100);
+/// assert!(metrics.speedup() > 1.0);
+/// ```
+///
+/// # Panics
+/// If `cfg.threads` is zero or exceeds the topology's logical CPUs.
+pub fn run(
+    workload: &mut dyn Workload,
+    sched: &mut dyn Scheduler,
+    cfg: &DriverConfig,
+) -> RunMetrics {
+    assert!(cfg.threads > 0, "need at least one thread");
+    assert!(
+        cfg.threads <= cfg.topology.logical_cpus(),
+        "more threads ({}) than logical CPUs ({})",
+        cfg.threads,
+        cfg.topology.logical_cpus()
+    );
+    let mut driver = Driver::new(workload, sched, cfg.clone());
+    driver.bootstrap();
+    driver.main_loop();
+    driver.finish()
+}
+
+struct Driver<'w, 's> {
+    cfg: DriverConfig,
+    workload: &'w mut dyn Workload,
+    sched: &'s mut dyn Scheduler,
+    machine: HtmMachine,
+    locks: LockBank,
+    queue: EventQueue<Event>,
+    threads: Vec<ThreadCtx>,
+    metrics: RunMetrics,
+    rng: SimRng,
+    now: Cycles,
+    live_threads: usize,
+    budget: u32,
+    smt_factor: Vec<f64>,
+}
+
+impl<'w, 's> Driver<'w, 's> {
+    fn new(workload: &'w mut dyn Workload, sched: &'s mut dyn Scheduler, cfg: DriverConfig) -> Self {
+        let budget = sched.attempt_budget();
+        assert!(budget > 0, "scheduler attempt budget must be positive");
+        let blocks = workload.num_blocks();
+        let machine = HtmMachine::new(cfg.topology, cfg.htm);
+        let locks = LockBank::new(cfg.topology.physical_cores(), blocks);
+        let metrics = RunMetrics::new(blocks, budget, blocks);
+        let rng = SimRng::new(cfg.seed);
+        let threads = (0..cfg.threads).map(|_| ThreadCtx::new()).collect();
+        let live_threads = cfg.threads;
+        let smt_factor = (0..cfg.threads)
+            .map(|t| {
+                let shared = (0..cfg.threads).any(|o| cfg.topology.are_smt_siblings(t, o));
+                if shared { cfg.smt_slowdown.max(1.0) } else { 1.0 }
+            })
+            .collect();
+        Self {
+            cfg,
+            workload,
+            sched,
+            machine,
+            locks,
+            queue: EventQueue::new(),
+            threads,
+            metrics,
+            rng,
+            now: 0,
+            live_threads,
+            budget,
+            smt_factor,
+        }
+    }
+
+    /// Stretches a request's timing by the thread's SMT sharing factor.
+    /// Sequential cost accounting always uses the unscaled trace.
+    fn scale_req(&self, th: ThreadId, req: &mut TxRequest) {
+        let f = self.smt_factor[th];
+        if f <= 1.0 {
+            return;
+        }
+        req.think = (req.think as f64 * f) as Cycles;
+        req.duration = (req.duration as f64 * f).ceil() as Cycles;
+        for a in &mut req.accesses {
+            a.offset = (a.offset as f64 * f) as Cycles;
+        }
+    }
+
+    fn bootstrap(&mut self) {
+        for th in 0..self.cfg.threads {
+            self.next_tx(th, 0);
+        }
+        if let Some(p) = self.cfg.periodic_tick {
+            self.queue.push(p, Event::Tick);
+        }
+    }
+
+    fn main_loop(&mut self) {
+        let mut events = 0u64;
+        while self.live_threads > 0 {
+            let Some((time, ev)) = self.queue.pop() else {
+                // No events but threads alive: every live thread must be
+                // parked waiting for a wake that can no longer come. This
+                // is a bug in the model, not a workload condition.
+                panic!(
+                    "event queue drained with {} live thread(s) at t={}",
+                    self.live_threads, self.now
+                );
+            };
+            self.now = time;
+            events += 1;
+            if events > self.cfg.max_events {
+                self.metrics.truncated = true;
+                break;
+            }
+            self.dispatch(ev);
+        }
+    }
+
+    fn finish(self) -> RunMetrics {
+        let mut metrics = self.metrics;
+        metrics.makespan = self
+            .threads
+            .iter()
+            .map(|t| t.finished_at)
+            .max()
+            .unwrap_or(0);
+        metrics
+    }
+
+    fn dispatch(&mut self, ev: Event) {
+        match ev {
+            Event::Tick => {
+                self.with_env(|sched, env| sched.on_periodic(env));
+                if self.live_threads > 0 {
+                    if let Some(p) = self.cfg.periodic_tick {
+                        self.queue.push(self.now + p, Event::Tick);
+                    }
+                }
+            }
+            Event::ThinkDone { th, epoch } => {
+                if self.stale(th, epoch) {
+                    return;
+                }
+                self.tx_arrived(th);
+            }
+            Event::GateResume { th, epoch } => {
+                if self.stale(th, epoch) || self.threads[th].phase != Phase::Gating {
+                    return;
+                }
+                self.unpark(th);
+                self.process_gates(th);
+            }
+            Event::Access { th, epoch, idx } => {
+                if self.stale(th, epoch) {
+                    return;
+                }
+                self.do_access(th, idx);
+            }
+            Event::AsyncAbort { th, epoch } => {
+                if self.stale(th, epoch) || self.threads[th].phase != Phase::Running {
+                    return;
+                }
+                self.machine.abort(th);
+                self.handle_abort(th, XStatus::other());
+            }
+            Event::CommitPoint { th, epoch } => {
+                if self.stale(th, epoch) {
+                    return;
+                }
+                self.do_commit(th);
+            }
+            Event::FallbackDone { th, epoch } => {
+                if self.stale(th, epoch) {
+                    return;
+                }
+                self.fallback_done(th);
+            }
+        }
+    }
+
+    fn stale(&self, th: ThreadId, epoch: u64) -> bool {
+        self.threads[th].epoch != epoch
+    }
+
+    fn bump(&mut self, th: ThreadId) {
+        self.threads[th].epoch += 1;
+    }
+
+    fn with_env<R>(&mut self, f: impl FnOnce(&mut dyn Scheduler, &mut SchedEnv<'_>) -> R) -> R {
+        let mut env = SchedEnv {
+            now: self.now,
+            locks: &self.locks,
+            topology: self.cfg.topology,
+            rng: &mut self.rng,
+        };
+        f(self.sched, &mut env)
+    }
+
+    // ---- lifecycle ----------------------------------------------------
+
+    fn next_tx(&mut self, th: ThreadId, extra_delay: Cycles) {
+        let next = self.workload.next(th, &mut self.rng);
+        match next {
+            None => {
+                self.threads[th].phase = Phase::Done;
+                self.threads[th].finished_at = self.now;
+                self.bump(th);
+                self.live_threads -= 1;
+            }
+            Some(mut req) => {
+                debug_assert!(req.is_well_formed(), "malformed trace from workload");
+                debug_assert!(req.block < self.workload.num_blocks());
+                self.metrics.sequential_cycles += req.think + req.duration;
+                self.scale_req(th, &mut req);
+                let think = req.think;
+                let ctx = &mut self.threads[th];
+                ctx.req = Some(req);
+                ctx.attempts_left = self.budget;
+                ctx.attempts_used = 0;
+                ctx.phase = Phase::Thinking;
+                ctx.epoch += 1;
+                let epoch = ctx.epoch;
+                self.queue
+                    .push(self.now + extra_delay + think, Event::ThinkDone { th, epoch });
+            }
+        }
+    }
+
+    /// Alg. 1 START: announce, decide pre-tx serialization, gate, attempt.
+    fn tx_arrived(&mut self, th: ThreadId) {
+        let block = self.threads[th].block();
+        self.with_env(|sched, env| sched.on_tx_start(th, block, env));
+        let start_overhead = self.sched.overhead(HookPoint::TxStart);
+        let force_fallback = self.with_env(|sched, env| sched.pre_tx_fallback(th, block, env));
+        if force_fallback {
+            self.enter_fallback_path(th);
+            self.threads[th].pending_delay += start_overhead;
+        } else {
+            let attempts_left = self.threads[th].attempts_left;
+            let gates =
+                self.with_env(|sched, env| sched.pre_attempt_gates(th, block, attempts_left, env));
+            self.install_gates(th, gates, AfterGates::BeginAttempt);
+            self.threads[th].pending_delay += start_overhead;
+            self.process_gates(th);
+        }
+    }
+
+    fn install_gates(&mut self, th: ThreadId, gates: Vec<Gate>, after: AfterGates) {
+        let now = self.now;
+        let ctx = &mut self.threads[th];
+        ctx.phase = Phase::Gating;
+        ctx.pending_gates = gates;
+        ctx.after_gates = after;
+        ctx.gates_entered_at = now;
+        ctx.pending_delay = 0;
+        ctx.epoch += 1;
+    }
+
+    fn park(&mut self, th: ThreadId) {
+        if self.threads[th].park_start.is_none() {
+            self.threads[th].park_start = Some(self.now);
+        }
+    }
+
+    fn unpark(&mut self, th: ThreadId) {
+        if let Some(start) = self.threads[th].park_start.take() {
+            let waited = self.now.saturating_sub(start);
+            self.metrics.wait_cycles += waited;
+            self.metrics.wait_histogram.record(waited);
+        }
+    }
+
+    /// Processes the pending gate list from the top. Returns having either
+    /// parked the thread (watcher/acquirer) or completed all gates and
+    /// transitioned.
+    fn process_gates(&mut self, th: ThreadId) {
+        debug_assert_eq!(self.threads[th].phase, Phase::Gating);
+        let gates = self.threads[th].pending_gates.clone();
+        let patience_deadline = self.threads[th].gates_entered_at + self.cfg.wait_patience;
+        for gate in gates {
+            match gate {
+                Gate::WaitWhileLocked(l) => {
+                    if self.locks.is_locked(l)
+                        && !self.locks.is_held_by(l, th)
+                        && self.now < patience_deadline
+                    {
+                        if l == LockId::Sgl {
+                            self.with_env(|sched, env| sched.on_sgl_wait(th, env));
+                        }
+                        self.locks.get_mut(l).add_watcher(th);
+                        self.park(th);
+                        let epoch = self.threads[th].epoch;
+                        self.queue
+                            .push(patience_deadline.max(self.now + 1), Event::GateResume { th, epoch });
+                        return;
+                    }
+                }
+                Gate::Acquire(l) => {
+                    if !self.acquire_or_park(th, l) {
+                        return;
+                    }
+                }
+                Gate::AcquireMany { mut locks, via_htm } => {
+                    locks.sort_unstable();
+                    locks.dedup();
+                    let mut needed: Vec<LockId> = Vec::with_capacity(locks.len());
+                    for l in locks {
+                        if self.locks.is_held_by(l, th) {
+                            // Granted by a release hand-off while parked:
+                            // record ownership so the lock is released later.
+                            if !self.threads[th].held.contains(&l) {
+                                self.threads[th].held.push(l);
+                            }
+                        } else {
+                            needed.push(l);
+                        }
+                    }
+                    if needed.is_empty() {
+                        continue;
+                    }
+                    let all_free = needed.iter().all(|&l| !self.locks.is_locked(l));
+                    if via_htm && all_free && needed.len() >= 2 {
+                        // Multi-CAS: take all locks in one tiny hardware
+                        // transaction (paper §4). Cost: one begin/commit
+                        // pair instead of one RMW per lock.
+                        for &l in &needed {
+                            let ok = self.locks.get_mut(l).try_acquire(th, self.now);
+                            debug_assert!(ok);
+                            self.threads[th].held.push(l);
+                        }
+                        self.threads[th].pending_delay +=
+                            self.cfg.costs.xbegin + self.cfg.costs.xend;
+                        self.record_tx_lock_acquisition(&needed);
+                    } else {
+                        let mut newly = Vec::new();
+                        let mut parked = false;
+                        for &l in &needed {
+                            if !self.acquire_or_park(th, l) {
+                                parked = true;
+                                break;
+                            }
+                            newly.push(l);
+                        }
+                        self.record_tx_lock_acquisition(&newly);
+                        if parked {
+                            return;
+                        }
+                    }
+                }
+                Gate::ReleaseHeld => self.release_all_held(th),
+            }
+        }
+        // All gates passed.
+        let after = self.threads[th].after_gates;
+        match after {
+            AfterGates::BeginAttempt => self.begin_attempt(th),
+            AfterGates::StartFallback => self.start_fallback(th),
+        }
+    }
+
+    /// Try-acquire with FIFO parking; true when the lock is now held.
+    fn acquire_or_park(&mut self, th: ThreadId, l: LockId) -> bool {
+        if self.locks.is_held_by(l, th) {
+            if !self.threads[th].held.contains(&l) {
+                // Granted by a release hand-off while we were parked.
+                self.threads[th].held.push(l);
+            }
+            return true;
+        }
+        if self.locks.get_mut(l).try_acquire(th, self.now) {
+            self.threads[th].held.push(l);
+            self.threads[th].pending_delay += self.cfg.costs.cas;
+            if matches!(l, LockId::Tx(_)) {
+                self.record_tx_lock_acquisition(&[l]);
+            }
+            true
+        } else {
+            self.locks.get_mut(l).enqueue_acquirer(th);
+            self.park(th);
+            false
+        }
+    }
+
+    fn record_tx_lock_acquisition(&mut self, locks: &[LockId]) {
+        let tx_count = locks.iter().filter(|l| matches!(l, LockId::Tx(_))).count();
+        if tx_count > 0 {
+            self.metrics.tx_lock_acquisitions.push(tx_count as u32);
+        }
+    }
+
+    fn release_all_held(&mut self, th: ThreadId) {
+        let held = std::mem::take(&mut self.threads[th].held);
+        for l in held {
+            self.release_lock(th, l);
+        }
+    }
+
+    fn release_lock(&mut self, th: ThreadId, l: LockId) {
+        let plan = self.locks.release(l, th, self.now);
+        let handoff = self.now + self.cfg.costs.lock_handoff;
+        // Wake queued acquirers first (in FIFO order) and watchers after,
+        // staggered: cache-line arbitration serializes the waiters'
+        // re-reads of the lock word, which preserves rough FIFO fairness
+        // and breaks the synchronized retry herd a simultaneous wake would
+        // create. Acquirers that lose the re-contention re-queue.
+        let step = (self.cfg.costs.cas / 2).max(1);
+        let mut i: Cycles = 0;
+        for a in plan.acquirers {
+            let epoch = self.threads[a].epoch;
+            self.queue
+                .push(handoff + i * step, Event::GateResume { th: a, epoch });
+            i += 1;
+        }
+        for w in plan.watchers {
+            let epoch = self.threads[w].epoch;
+            self.queue
+                .push(handoff + i * step, Event::GateResume { th: w, epoch });
+            i += 1;
+        }
+    }
+
+    // ---- hardware attempt ----------------------------------------------
+
+    fn begin_attempt(&mut self, th: ThreadId) {
+        self.bump(th);
+        self.threads[th].phase = Phase::Running;
+        self.metrics.htm_attempts += 1;
+        let delay = std::mem::take(&mut self.threads[th].pending_delay);
+        let body_start = self.now + delay + self.cfg.costs.xbegin;
+        self.threads[th].body_start = body_start;
+
+        // Begin-time SGL subscription (Alg. 1 lines 10-12): if the
+        // fall-back lock is held, the transaction self-aborts explicitly.
+        if self.locks.is_locked(LockId::Sgl) && !self.locks.is_held_by(LockId::Sgl, th) {
+            self.handle_abort(th, XStatus::explicit(xabort_codes::SGL_LOCKED));
+            return;
+        }
+
+        let squeezed = self.machine.begin(th);
+        for (victim, cause) in squeezed {
+            if self.threads[victim].phase == Phase::Running {
+                self.handle_abort(victim, XStatus::from(cause));
+            }
+        }
+
+        let (duration, first_access, epoch) = {
+            let ctx = &self.threads[th];
+            let req = ctx.req.as_ref().expect("running thread without request");
+            (
+                req.duration,
+                req.accesses.first().map(|a| a.offset),
+                ctx.epoch,
+            )
+        };
+
+        // Asynchronous aborts (interrupts, faults): probability grows with
+        // the transaction's footprint in time.
+        let p_async = duration as f64 * self.cfg.costs.async_abort_per_cycle;
+        if self.rng.chance(p_async) {
+            let at = body_start + self.rng.below(duration.max(1));
+            self.queue.push(at, Event::AsyncAbort { th, epoch });
+        }
+
+        match first_access {
+            Some(offset) => self
+                .queue
+                .push(body_start + offset, Event::Access { th, epoch, idx: 0 }),
+            None => self.queue.push(
+                body_start + duration + self.cfg.costs.xend,
+                Event::CommitPoint { th, epoch },
+            ),
+        }
+    }
+
+    fn do_access(&mut self, th: ThreadId, idx: usize) {
+        debug_assert_eq!(self.threads[th].phase, Phase::Running);
+        let (line, kind, my_block) = {
+            let ctx = &self.threads[th];
+            let req = ctx.req.as_ref().expect("access without request");
+            let a = req.accesses[idx];
+            (a.line, a.kind, req.block)
+        };
+        let result = self.machine.access(th, line, kind);
+        for victim in result.victims {
+            if self.threads[victim].phase == Phase::Running {
+                let victim_block = self.threads[victim].block();
+                self.metrics.ground_truth.record(victim_block, my_block);
+                self.handle_abort(victim, XStatus::conflict());
+            }
+        }
+        if let Some(cause) = result.self_abort {
+            self.handle_abort(th, XStatus::from(cause));
+            return;
+        }
+        // Schedule the next step of the body.
+        let ctx = &self.threads[th];
+        let req = ctx.req.as_ref().expect("access without request");
+        let epoch = ctx.epoch;
+        let body_start = ctx.body_start;
+        if idx + 1 < req.accesses.len() {
+            let at = body_start + req.accesses[idx + 1].offset;
+            self.queue
+                .push(at.max(self.now), Event::Access { th, epoch, idx: idx + 1 });
+        } else {
+            let at = body_start + req.duration + self.cfg.costs.xend;
+            self.queue
+                .push(at.max(self.now), Event::CommitPoint { th, epoch });
+        }
+    }
+
+    fn do_commit(&mut self, th: ThreadId) {
+        debug_assert_eq!(self.threads[th].phase, Phase::Running);
+        self.machine.commit(th);
+        self.bump(th);
+        let block = self.threads[th].block();
+        self.with_env(|sched, env| sched.on_htm_commit(th, block, env));
+
+        let mode = self.classify_mode(th);
+        self.metrics.modes.record(mode);
+        self.metrics.commits += 1;
+        let used = self.threads[th].attempts_used.min(self.budget - 1) as usize;
+        self.metrics.attempts_histogram[used] += 1;
+
+        self.release_all_held(th);
+        let req = self.threads[th].req.take().expect("commit without request");
+        self.workload.commit(th, &req, &mut self.rng);
+        self.next_tx(th, self.sched.overhead(HookPoint::HtmCommit));
+    }
+
+    fn classify_mode(&self, th: ThreadId) -> TxMode {
+        let held = &self.threads[th].held;
+        let aux = held.contains(&LockId::Aux);
+        let tx = held.iter().any(|l| matches!(l, LockId::Tx(_)));
+        let core = held.iter().any(|l| matches!(l, LockId::Core(_)));
+        match (aux, tx, core) {
+            (true, _, _) => TxMode::HtmAuxLock,
+            (false, true, true) => TxMode::HtmTxAndCoreLocks,
+            (false, true, false) => TxMode::HtmTxLocks,
+            (false, false, true) => TxMode::HtmCoreLock,
+            (false, false, false) => TxMode::HtmNoLocks,
+        }
+    }
+
+    // ---- abort handling --------------------------------------------------
+
+    fn handle_abort(&mut self, th: ThreadId, status: XStatus) {
+        debug_assert!(!status.is_started());
+        self.bump(th);
+        let abort_counts = &mut self.metrics.aborts;
+        if status.is_conflict() {
+            abort_counts.conflict += 1;
+        } else if status.is_capacity() {
+            abort_counts.capacity += 1;
+        } else if status.is_explicit() {
+            abort_counts.explicit += 1;
+        } else {
+            abort_counts.other += 1;
+        }
+        // The machine slot is already clear for victims/capacity; make sure
+        // for the explicit/async paths too.
+        self.machine.abort(th);
+
+        let ctx = &mut self.threads[th];
+        ctx.attempts_left = ctx.attempts_left.saturating_sub(1);
+        ctx.attempts_used += 1;
+        let attempts_left = ctx.attempts_left;
+        let block = ctx.block();
+
+        let decision =
+            self.with_env(|sched, env| sched.on_abort(th, block, status, attempts_left, env));
+
+        let resume_at =
+            self.now + self.cfg.costs.abort_penalty + self.sched.overhead(HookPoint::Abort);
+        if attempts_left == 0 || matches!(decision, AbortDecision::Fallback) {
+            self.enter_fallback_path_at(th, resume_at);
+        } else {
+            let AbortDecision::Retry { gates } = decision else {
+                unreachable!()
+            };
+            // Re-generate the trace: a re-executed transaction re-reads the
+            // (possibly changed) data structures.
+            let mut req = self.threads[th].req.take().expect("abort without request");
+            self.workload.regenerate(th, &mut req, &mut self.rng);
+            debug_assert!(req.is_well_formed());
+            self.scale_req(th, &mut req);
+            self.threads[th].req = Some(req);
+
+            let mut all_gates = gates;
+            let more = self
+                .with_env(|sched, env| sched.pre_attempt_gates(th, block, attempts_left, env));
+            all_gates.extend(more);
+            self.install_gates(th, all_gates, AfterGates::BeginAttempt);
+            let epoch = self.threads[th].epoch;
+            self.queue.push(resume_at, Event::GateResume { th, epoch });
+        }
+    }
+
+    // ---- fall-back path --------------------------------------------------
+
+    fn enter_fallback_path(&mut self, th: ThreadId) {
+        self.enter_fallback_path_at(th, self.now);
+    }
+
+    fn enter_fallback_path_at(&mut self, th: ThreadId, at: Cycles) {
+        self.metrics.fallbacks += 1;
+        // RELEASE-Seer-LOCKS before taking the global lock (Alg. 1 line 19).
+        self.release_all_held(th);
+        self.install_gates(th, vec![Gate::Acquire(LockId::Sgl)], AfterGates::StartFallback);
+        let epoch = self.threads[th].epoch;
+        self.queue.push(at.max(self.now), Event::GateResume { th, epoch });
+    }
+
+    fn start_fallback(&mut self, th: ThreadId) {
+        debug_assert!(self.locks.is_held_by(LockId::Sgl, th));
+        self.bump(th);
+        self.threads[th].phase = Phase::FallbackRunning;
+        // Acquiring the SGL invalidates the lock line every hardware
+        // transaction subscribed to at begin: they all abort.
+        let block = self.threads[th].block();
+        let killed = self.machine.kill_all();
+        for victim in killed {
+            if victim != th && self.threads[victim].phase == Phase::Running {
+                let victim_block = self.threads[victim].block();
+                self.metrics.ground_truth.record(victim_block, block);
+                self.handle_abort(victim, XStatus::conflict());
+            }
+        }
+        let delay = std::mem::take(&mut self.threads[th].pending_delay);
+        let duration = self.threads[th].req.as_ref().expect("fallback without request").duration;
+        let epoch = self.threads[th].epoch;
+        self.queue
+            .push(self.now + delay + duration, Event::FallbackDone { th, epoch });
+    }
+
+    fn fallback_done(&mut self, th: ThreadId) {
+        debug_assert_eq!(self.threads[th].phase, Phase::FallbackRunning);
+        self.bump(th);
+        let block = self.threads[th].block();
+        self.with_env(|sched, env| sched.on_fallback_commit(th, block, env));
+        self.metrics.modes.record(TxMode::SglFallback);
+        self.metrics.commits += 1;
+        *self
+            .metrics
+            .attempts_histogram
+            .last_mut()
+            .expect("histogram sized by budget") += 1;
+        self.release_lock(th, LockId::Sgl);
+        self.threads[th].held.retain(|&l| l != LockId::Sgl);
+        let req = self.threads[th].req.take().expect("fallback without request");
+        self.workload.commit(th, &req, &mut self.rng);
+        self.next_tx(th, self.sched.overhead(HookPoint::FallbackCommit));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::NullScheduler;
+    use crate::workload::{Access, BlockId, TxRequest};
+    use seer_htm::AccessKind;
+
+    /// A workload of `per_thread` identical transactions per thread, each
+    /// touching `lines` distinct lines starting at a per-thread or shared
+    /// base, with optional conflicts.
+    struct Uniform {
+        per_thread: usize,
+        issued: Vec<usize>,
+        lines: u64,
+        shared: bool,
+        writes: bool,
+        blocks: usize,
+    }
+
+    impl Uniform {
+        fn new(threads: usize, per_thread: usize, lines: u64, shared: bool, writes: bool) -> Self {
+            Self {
+                per_thread,
+                issued: vec![0; threads],
+                lines,
+                shared,
+                writes,
+                blocks: 1,
+            }
+        }
+    }
+
+    impl Workload for Uniform {
+        fn name(&self) -> &str {
+            "uniform-test"
+        }
+        fn num_blocks(&self) -> usize {
+            self.blocks
+        }
+        fn next(&mut self, thread: ThreadId, _rng: &mut SimRng) -> Option<TxRequest> {
+            if self.issued[thread] >= self.per_thread {
+                return None;
+            }
+            self.issued[thread] += 1;
+            let base = if self.shared { 0 } else { (thread as u64 + 1) * 10_000 };
+            let kind = if self.writes { AccessKind::Write } else { AccessKind::Read };
+            let accesses = (0..self.lines)
+                .map(|i| Access {
+                    line: base + i,
+                    kind,
+                    offset: i * 10,
+                })
+                .collect();
+            Some(TxRequest {
+                block: 0 as BlockId,
+                accesses,
+                duration: self.lines * 10 + 20,
+                think: 50,
+            })
+        }
+    }
+
+    fn quiet_config(threads: usize) -> DriverConfig {
+        let mut cfg = DriverConfig::paper_machine(threads, 42);
+        cfg.costs.async_abort_per_cycle = 0.0;
+        cfg
+    }
+
+    #[test]
+    fn single_thread_all_commits_first_attempt() {
+        let mut w = Uniform::new(1, 100, 8, false, true);
+        let mut s = NullScheduler::new(5);
+        let m = run(&mut w, &mut s, &quiet_config(1));
+        assert_eq!(m.commits, 100);
+        assert_eq!(m.aborts.total(), 0);
+        assert_eq!(m.modes.get(TxMode::HtmNoLocks), 100);
+        assert_eq!(m.attempts_histogram[0], 100);
+        assert!(!m.truncated);
+        assert!(m.makespan > 0);
+    }
+
+    #[test]
+    fn disjoint_threads_never_conflict() {
+        let mut w = Uniform::new(4, 50, 8, false, true);
+        let mut s = NullScheduler::new(5);
+        let m = run(&mut w, &mut s, &quiet_config(4));
+        assert_eq!(m.commits, 200);
+        assert_eq!(m.aborts.conflict, 0);
+        assert_eq!(m.fallbacks, 0);
+    }
+
+    #[test]
+    fn shared_writes_conflict_and_still_complete() {
+        let mut w = Uniform::new(4, 50, 8, true, true);
+        let mut s = NullScheduler::new(5);
+        let m = run(&mut w, &mut s, &quiet_config(4));
+        assert_eq!(m.commits, 200);
+        assert!(m.aborts.conflict > 0, "shared hot lines must conflict");
+        assert!(!m.truncated);
+    }
+
+    #[test]
+    fn shared_reads_do_not_conflict() {
+        let mut w = Uniform::new(4, 50, 8, true, false);
+        let mut s = NullScheduler::new(5);
+        let m = run(&mut w, &mut s, &quiet_config(4));
+        assert_eq!(m.commits, 200);
+        assert_eq!(m.aborts.conflict, 0);
+    }
+
+    #[test]
+    fn parallel_speedup_on_disjoint_work() {
+        let mut w1 = Uniform::new(1, 200, 16, false, true);
+        let mut s = NullScheduler::new(5);
+        let m1 = run(&mut w1, &mut s, &quiet_config(1));
+        let mut w4 = Uniform::new(4, 50, 16, false, true);
+        let m4 = run(&mut w4, &mut s, &quiet_config(4));
+        assert!(
+            m4.speedup() > 2.0 * m1.speedup(),
+            "4 disjoint threads should scale: {} vs {}",
+            m4.speedup(),
+            m1.speedup()
+        );
+    }
+
+    #[test]
+    fn ground_truth_records_conflicts() {
+        let mut w = Uniform::new(2, 100, 4, true, true);
+        let mut s = NullScheduler::new(5);
+        let m = run(&mut w, &mut s, &quiet_config(2));
+        assert!(m.ground_truth.total() > 0);
+        assert_eq!(m.ground_truth.total(), m.aborts.conflict);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run_once = || {
+            let mut w = Uniform::new(4, 40, 8, true, true);
+            let mut s = NullScheduler::new(5);
+            run(&mut w, &mut s, &quiet_config(4))
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.aborts.total(), b.aborts.total());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.modes, b.modes);
+    }
+
+    #[test]
+    fn budget_exhaustion_falls_back_to_sgl() {
+        // Single line, all writes, 8 threads: extreme contention guarantees
+        // some transactions exhaust their budget.
+        let mut w = Uniform::new(8, 30, 1, true, true);
+        let mut s = NullScheduler::new(2);
+        let m = run(&mut w, &mut s, &quiet_config(8));
+        assert_eq!(m.commits, 240);
+        assert!(m.fallbacks > 0, "contention must trigger the fall-back");
+        assert!(m.modes.get(TxMode::SglFallback) > 0);
+    }
+
+    #[test]
+    fn empty_workload_finishes_immediately() {
+        let mut w = Uniform::new(2, 0, 4, false, true);
+        let mut s = NullScheduler::new(5);
+        let m = run(&mut w, &mut s, &quiet_config(2));
+        assert_eq!(m.commits, 0);
+        assert_eq!(m.makespan, 0);
+    }
+
+    #[test]
+    fn async_aborts_occur_when_enabled() {
+        let mut cfg = quiet_config(1);
+        cfg.costs.async_abort_per_cycle = 1e-3; // absurdly high for the test
+        let mut w = Uniform::new(1, 100, 8, false, true);
+        let mut s = NullScheduler::new(5);
+        let m = run(&mut w, &mut s, &cfg);
+        assert_eq!(m.commits, 100);
+        assert!(m.aborts.other > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "more threads")]
+    fn too_many_threads_panics() {
+        let mut w = Uniform::new(9, 1, 1, false, true);
+        let mut s = NullScheduler::new(5);
+        let _ = run(&mut w, &mut s, &quiet_config(9));
+    }
+
+    #[test]
+    fn sequential_cycles_accumulate() {
+        let mut w = Uniform::new(2, 10, 4, false, true);
+        let mut s = NullScheduler::new(5);
+        let m = run(&mut w, &mut s, &quiet_config(2));
+        // 20 txs, each think=50 duration=60.
+        assert_eq!(m.sequential_cycles, 20 * (50 + 60));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the DES driver's end-to-end invariants over
+//! randomized synthetic workloads and schedulers.
+
+use proptest::prelude::*;
+use seer_runtime::synthetic::{BlockSpec, SyntheticSpec, SyntheticWorkload};
+use seer_runtime::{run, DriverConfig, NullScheduler, RunMetrics};
+
+fn arb_block() -> impl Strategy<Value = BlockSpec> {
+    (
+        1u64..30,        // accesses
+        0.0f64..1.0,     // write fraction
+        0u64..3,         // hot region
+        1u64..128,       // hot lines
+        0.0f64..0.9,     // hot probability
+        0.0f64..1.5,     // zipf theta
+    )
+        .prop_map(|(accesses, wf, region, lines, hp, theta)| BlockSpec {
+            weight: 1.0,
+            accesses,
+            write_fraction: wf,
+            hot_region: region,
+            hot_lines: lines,
+            hot_probability: hp,
+            zipf_theta: theta,
+            spacing: (4, 16),
+        })
+}
+
+fn arb_spec() -> impl Strategy<Value = SyntheticSpec> {
+    (prop::collection::vec(arb_block(), 1..5), 5usize..40).prop_map(|(blocks, txs)| {
+        SyntheticSpec {
+            name: "prop".into(),
+            blocks,
+            txs_per_thread: txs,
+            think: (20, 120),
+        }
+    })
+}
+
+fn run_spec(spec: &SyntheticSpec, threads: usize, seed: u64, budget: u32) -> RunMetrics {
+    let mut w = SyntheticWorkload::new(spec.clone(), threads);
+    let mut s = NullScheduler::new(budget);
+    let mut cfg = DriverConfig::paper_machine(threads, seed);
+    cfg.costs.async_abort_per_cycle = 0.0;
+    run(&mut w, &mut s, &cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Liveness + conservation: every issued transaction commits exactly
+    /// once, whatever the contention pattern; the accounting identities
+    /// hold between the metric families.
+    #[test]
+    fn all_work_commits_and_accounting_balances(
+        spec in arb_spec(),
+        threads in 1usize..8,
+        seed in any::<u64>(),
+        budget in 1u32..7,
+    ) {
+        let m = run_spec(&spec, threads, seed, budget);
+        prop_assert!(!m.truncated);
+        prop_assert_eq!(m.commits, (spec.txs_per_thread * threads) as u64);
+        // Mode tallies partition the commits.
+        prop_assert_eq!(m.modes.total(), m.commits);
+        // The attempts histogram partitions the commits too.
+        let hist_total: u64 = m.attempts_histogram.iter().sum();
+        prop_assert_eq!(hist_total, m.commits);
+        // Conflict ground truth records at most one victim per conflict abort.
+        prop_assert_eq!(m.ground_truth.total(), m.aborts.conflict);
+        // Fall-backs appear in the last histogram bucket.
+        prop_assert_eq!(*m.attempts_histogram.last().unwrap(), m.fallbacks);
+        // A fall-back can only follow a full budget of aborts.
+        prop_assert!(m.aborts.total() >= m.fallbacks * u64::from(budget));
+    }
+
+    /// Determinism: identical configuration => identical metrics.
+    #[test]
+    fn identical_runs_are_bit_identical(
+        spec in arb_spec(),
+        threads in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let a = run_spec(&spec, threads, seed, 5);
+        let b = run_spec(&spec, threads, seed, 5);
+        prop_assert_eq!(a.commits, b.commits);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.sequential_cycles, b.sequential_cycles);
+        prop_assert_eq!(a.aborts.total(), b.aborts.total());
+        prop_assert_eq!(a.wait_cycles, b.wait_cycles);
+        prop_assert_eq!(a.modes, b.modes);
+    }
+
+    /// Read-only workloads never conflict, never fall back, and commit on
+    /// the first attempt.
+    #[test]
+    fn read_only_is_conflict_free(
+        threads in 1usize..8,
+        seed in any::<u64>(),
+        lines in 1u64..64,
+    ) {
+        let spec = SyntheticSpec {
+            name: "ro".into(),
+            blocks: vec![BlockSpec {
+                accesses: 12,
+                write_fraction: 0.0,
+                hot_lines: lines,
+                hot_probability: 0.8,
+                ..BlockSpec::default()
+            }],
+            txs_per_thread: 25,
+            think: (10, 60),
+        };
+        let m = run_spec(&spec, threads, seed, 5);
+        prop_assert_eq!(m.aborts.conflict, 0);
+        prop_assert_eq!(m.fallbacks, 0);
+        prop_assert_eq!(m.attempts_histogram[0], m.commits);
+    }
+
+    /// The sequential-cycle accumulator equals the sum of think + duration
+    /// over the unscaled traces (single-thread run: makespan ≥ sequential
+    /// because of HTM begin/commit overheads).
+    #[test]
+    fn single_thread_is_slower_than_sequential(spec in arb_spec(), seed in any::<u64>()) {
+        let m = run_spec(&spec, 1, seed, 5);
+        prop_assert!(m.makespan >= m.sequential_cycles,
+            "1-thread HTM run cannot beat the raw sequential cost: {} < {}",
+            m.makespan, m.sequential_cycles);
+    }
+}

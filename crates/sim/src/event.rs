@@ -1,0 +1,206 @@
+//! Stable, deterministic event queue.
+//!
+//! The queue orders events by `(time, sequence)` where `sequence` is a
+//! monotonically increasing insertion counter. Two events scheduled for the
+//! same cycle therefore fire in the order they were scheduled, which makes
+//! every simulation a total order of events — a property the integration
+//! tests rely on to assert bit-identical metrics across repeated runs with
+//! the same seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycles;
+
+/// A single scheduled event: payload plus its firing time and tie-break key.
+#[derive(Debug, Clone)]
+pub struct EventEntry<E> {
+    /// Virtual time at which the event fires.
+    pub time: Cycles,
+    /// Insertion sequence number; the tie-break for simultaneous events.
+    pub seq: u64,
+    /// The event payload, interpreted by the simulation driver.
+    pub payload: E,
+}
+
+impl<E> PartialEq for EventEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for EventEntry<E> {}
+
+impl<E> PartialOrd for EventEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for EventEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic priority queue of timestamped events.
+///
+/// ```
+/// use seer_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(10, "b");
+/// q.push(5, "a");
+/// q.push(10, "c"); // same time as "b", inserted later -> fires after "b"
+/// assert_eq!(q.pop().unwrap().1, "a");
+/// assert_eq!(q.pop().unwrap().1, "b");
+/// assert_eq!(q.pop().unwrap().1, "c");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<EventEntry<E>>,
+    seq: u64,
+    /// Time of the most recently popped event; pushes earlier than this are
+    /// causality violations and panic in debug builds.
+    watermark: Cycles,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            watermark: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `time`.
+    ///
+    /// Scheduling an event before the current watermark (the time of the
+    /// last popped event) would break causality; debug builds assert
+    /// against it, release builds clamp to the watermark.
+    pub fn push(&mut self, time: Cycles, payload: E) {
+        debug_assert!(
+            time >= self.watermark,
+            "event scheduled at {} before watermark {}",
+            time,
+            self.watermark
+        );
+        let time = time.max(self.watermark);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(EventEntry { time, seq, payload });
+    }
+
+    /// Removes and returns the earliest event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        let entry = self.heap.pop()?;
+        self.watermark = entry.time;
+        Some((entry.time, entry.payload))
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycles> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Time of the most recently popped event.
+    pub fn now(&self) -> Cycles {
+        self.watermark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, 3);
+        q.push(10, 1);
+        q.push(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(42, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((42, i)));
+        }
+    }
+
+    #[test]
+    fn watermark_tracks_pops() {
+        let mut q = EventQueue::new();
+        q.push(5, ());
+        q.push(9, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.pop();
+        assert_eq!(q.now(), 9);
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(7, "x");
+        q.push(3, "y");
+        assert_eq!(q.peek_time(), Some(3));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(7));
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, ());
+        q.push(2, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn release_mode_clamps_to_watermark() {
+        let mut q = EventQueue::new();
+        q.push(10, "a");
+        q.pop();
+        q.push(5, "late"); // clamped to 10
+        assert_eq!(q.pop(), Some((10, "late")));
+    }
+}

@@ -1,0 +1,257 @@
+//! Seeded, splittable RNG plus the samplers the workload models need.
+//!
+//! Everything random in the reproduction flows through [`SimRng`] so that a
+//! run is a pure function of `(config, seed)`. The paper averages 20
+//! wall-clock runs on real hardware; we average over seeds instead
+//! (`DESIGN.md` §2).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::Cycles;
+
+/// Deterministic simulation RNG.
+///
+/// Wraps [`SmallRng`] (xoshiro256++ on 64-bit targets) with domain helpers:
+/// integer ranges, Bernoulli trials, bounded Zipf sampling (used by the
+/// STAMP workload models for skewed data-structure access), and derived
+/// per-thread streams.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+}
+
+impl SimRng {
+    /// Creates an RNG from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child stream, e.g. one per simulated thread.
+    ///
+    /// Mixing the label through SplitMix64 decorrelates the child streams
+    /// even for adjacent labels.
+    pub fn derive(&self, label: u64) -> Self {
+        let mut z = self.seed_fingerprint() ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Self::new(z ^ (z >> 31))
+    }
+
+    fn seed_fingerprint(&self) -> u64 {
+        // Clone so fingerprinting does not advance this stream.
+        self.inner.clone().next_u64()
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    /// If `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive).
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range [{lo}, {hi}]");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Uniform cycle count in `[lo, hi]`, a convenience alias used by the
+    /// workload trace generators.
+    pub fn cycles_between(&mut self, lo: Cycles, hi: Cycles) -> Cycles {
+        self.range_inclusive(lo, hi)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Samples an index in `[0, n)` from a Zipf distribution with exponent
+    /// `theta` via inverse-CDF over precomputed weights in [`ZipfTable`].
+    ///
+    /// The workload models construct a [`ZipfTable`] once and sample from it
+    /// per access, so the O(n) normalization cost is paid only at setup.
+    pub fn zipf(&mut self, table: &ZipfTable) -> usize {
+        table.sample(self.unit())
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// Precomputed cumulative weights for bounded Zipf sampling.
+///
+/// Element `i` (0-based) has weight `1 / (i + 1)^theta`. `theta = 0` is
+/// uniform; larger `theta` concentrates probability on low indices, which
+/// the workload models use for hot-spot data structures (e.g. the intruder
+/// work-queue head).
+#[derive(Debug, Clone)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds a table over `n` elements with exponent `theta >= 0`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "ZipfTable over zero elements");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "invalid Zipf exponent {theta}"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for w in &mut cdf {
+            *w /= total;
+        }
+        // Guard against floating-point round-off at the tail.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the table covers a single element.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Maps a uniform draw `u in [0, 1)` to an index by binary search.
+    pub fn sample(&self, u: f64) -> usize {
+        debug_assert!((0.0..=1.0).contains(&u));
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_decorrelated() {
+        let root = SimRng::new(7);
+        let mut c1 = root.derive(0);
+        let mut c1b = root.derive(0);
+        let mut c2 = root.derive(1);
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(9);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_rough_frequency() {
+        let mut r = SimRng::new(11);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_theta_zero() {
+        let table = ZipfTable::new(4, 0.0);
+        let mut r = SimRng::new(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[r.zipf(&table)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_to_head() {
+        let table = ZipfTable::new(100, 1.2);
+        let mut r = SimRng::new(5);
+        let mut head = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            if r.zipf(&table) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=1.2 the first 10 of 100 elements carry well over half
+        // of the probability mass.
+        assert!(head > n / 2, "head draws = {head}");
+    }
+
+    #[test]
+    fn zipf_sample_boundaries() {
+        let table = ZipfTable::new(3, 1.0);
+        assert_eq!(table.sample(0.0), 0);
+        assert!(table.sample(0.999_999) < 3);
+        assert_eq!(table.len(), 3);
+    }
+}

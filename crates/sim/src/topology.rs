@@ -1,0 +1,142 @@
+//! Simulated machine topology: physical cores and SMT (hyper-thread) layout.
+//!
+//! The paper's testbed is a Haswell Xeon E3-1275 with 4 physical cores, each
+//! running up to 2 hardware threads, for 8 logical CPUs. Linux (and the
+//! paper's thread-pinning) enumerates logical CPUs so that CPUs `0..P` land
+//! on distinct physical cores and CPUs `P..2P` are their SMT siblings; we
+//! reproduce that enumeration because it determines *when* hyper-threads
+//! start sharing an L1 cache as the thread count grows (at 5+ threads on the
+//! paper's machine), which in turn is what makes Seer's *core locks* start
+//! paying off only at 6–8 threads (paper §5.3, Figure 5).
+
+/// Identifier of a simulated thread (== logical CPU; threads are pinned).
+pub type ThreadId = usize;
+
+/// Identifier of a physical core.
+pub type CoreId = usize;
+
+/// Shape of the simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    physical_cores: usize,
+    smt_ways: usize,
+}
+
+impl Topology {
+    /// A machine with `physical_cores` cores, each `smt_ways`-way SMT.
+    ///
+    /// # Panics
+    /// If either argument is zero.
+    pub fn new(physical_cores: usize, smt_ways: usize) -> Self {
+        assert!(physical_cores > 0, "need at least one physical core");
+        assert!(smt_ways > 0, "need at least one hardware thread per core");
+        Self {
+            physical_cores,
+            smt_ways,
+        }
+    }
+
+    /// The paper's machine: 4 physical cores × 2 hyper-threads.
+    pub fn haswell_e3() -> Self {
+        Self::new(4, 2)
+    }
+
+    /// Number of physical cores.
+    pub fn physical_cores(&self) -> usize {
+        self.physical_cores
+    }
+
+    /// SMT ways per physical core.
+    pub fn smt_ways(&self) -> usize {
+        self.smt_ways
+    }
+
+    /// Total logical CPUs (`physical_cores * smt_ways`).
+    pub fn logical_cpus(&self) -> usize {
+        self.physical_cores * self.smt_ways
+    }
+
+    /// Physical core hosting logical CPU `cpu`.
+    ///
+    /// Logical CPUs `0..P` map to cores `0..P`; `P..2P` wrap around as SMT
+    /// siblings, matching the Linux enumeration on the paper's machine.
+    ///
+    /// # Panics
+    /// If `cpu` is out of range.
+    pub fn core_of(&self, cpu: ThreadId) -> CoreId {
+        assert!(cpu < self.logical_cpus(), "logical cpu {cpu} out of range");
+        cpu % self.physical_cores
+    }
+
+    /// Logical CPUs that share the physical core of `cpu`, including `cpu`.
+    pub fn siblings(&self, cpu: ThreadId) -> impl Iterator<Item = ThreadId> + '_ {
+        let core = self.core_of(cpu);
+        (0..self.smt_ways).map(move |way| core + way * self.physical_cores)
+    }
+
+    /// True when `a` and `b` are distinct logical CPUs on one physical core.
+    pub fn are_smt_siblings(&self, a: ThreadId, b: ThreadId) -> bool {
+        a != b && self.core_of(a) == self.core_of(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn haswell_layout() {
+        let t = Topology::haswell_e3();
+        assert_eq!(t.logical_cpus(), 8);
+        assert_eq!(t.physical_cores(), 4);
+        // First 4 logical cpus on distinct cores.
+        assert_eq!(t.core_of(0), 0);
+        assert_eq!(t.core_of(1), 1);
+        assert_eq!(t.core_of(2), 2);
+        assert_eq!(t.core_of(3), 3);
+        // 4..8 wrap around as siblings.
+        assert_eq!(t.core_of(4), 0);
+        assert_eq!(t.core_of(7), 3);
+    }
+
+    #[test]
+    fn sibling_enumeration() {
+        let t = Topology::haswell_e3();
+        let sibs: Vec<_> = t.siblings(2).collect();
+        assert_eq!(sibs, vec![2, 6]);
+        let sibs: Vec<_> = t.siblings(6).collect();
+        assert_eq!(sibs, vec![2, 6]);
+    }
+
+    #[test]
+    fn sibling_predicate() {
+        let t = Topology::haswell_e3();
+        assert!(t.are_smt_siblings(0, 4));
+        assert!(t.are_smt_siblings(4, 0));
+        assert!(!t.are_smt_siblings(0, 1));
+        assert!(!t.are_smt_siblings(3, 3));
+    }
+
+    #[test]
+    fn single_core_no_smt() {
+        let t = Topology::new(1, 1);
+        assert_eq!(t.logical_cpus(), 1);
+        assert_eq!(t.core_of(0), 0);
+        assert_eq!(t.siblings(0).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn fewer_threads_than_cores_have_no_siblings() {
+        // With 6 threads on a 4x2 machine, threads 4 and 5 pair with 0 and 1.
+        let t = Topology::haswell_e3();
+        assert!(t.are_smt_siblings(0, 4));
+        assert!(t.are_smt_siblings(1, 5));
+        assert!(!t.are_smt_siblings(2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn core_of_out_of_range_panics() {
+        Topology::haswell_e3().core_of(8);
+    }
+}

@@ -1,0 +1,54 @@
+//! Core locks in action: SMT-induced capacity aborts and their cure.
+//!
+//! Two hardware threads on one physical core share its L1 cache; when both
+//! run transactions with non-minimal write sets, each sees roughly half
+//! the buffer capacity and capacity aborts soar (paper §3). Seer's *core
+//! locks* serialize the SMT siblings whenever a capacity abort is
+//! detected.
+//!
+//! This example runs the yada model (large cavities, heavy write sets) at
+//! 4 threads (one per physical core — no sharing) and 8 threads (two per
+//! core), with core locks disabled and enabled, and prints the capacity
+//! abort counts and speedups side by side.
+//!
+//! ```sh
+//! cargo run --release --example capacity_and_core_locks
+//! ```
+
+use seer::{Seer, SeerConfig};
+use seer_runtime::{run, DriverConfig, TxMode, Workload};
+use seer_stamp::Benchmark;
+
+fn run_variant(threads: usize, core_locks: bool) -> (f64, u64, u64) {
+    let mut workload = Benchmark::Yada.instantiate_default(threads);
+    let blocks = workload.num_blocks();
+    let mut cfg = SeerConfig::full();
+    cfg.core_locks = core_locks;
+    let mut sched = Seer::new(cfg, threads, blocks);
+    let metrics = run(&mut workload, &mut sched, &DriverConfig::paper_machine(threads, 1234));
+    let core_lock_commits = metrics.modes.get(TxMode::HtmCoreLock)
+        + metrics.modes.get(TxMode::HtmTxAndCoreLocks);
+    (metrics.speedup(), metrics.aborts.capacity, core_lock_commits)
+}
+
+fn main() {
+    println!("yada (Delaunay refinement: ~100-200-line write sets)\n");
+    println!(
+        "{:>8} {:>12} {:>16} {:>16} {:>18}",
+        "threads", "core locks", "speedup", "capacity aborts", "core-lock commits"
+    );
+    for &threads in &[4usize, 8] {
+        for &locks in &[false, true] {
+            let (speedup, capacity, commits) = run_variant(threads, locks);
+            println!(
+                "{threads:>8} {:>12} {speedup:>16.2} {capacity:>16} {commits:>18}",
+                if locks { "on" } else { "off" }
+            );
+        }
+        println!();
+    }
+    println!("At 4 threads every thread owns a physical core: capacity is rare and");
+    println!("core locks are a no-op. At 8 threads the SMT siblings halve each");
+    println!("other's transactional buffers; core locks trade a little concurrency");
+    println!("for far fewer capacity aborts.");
+}
