@@ -134,19 +134,20 @@ pub fn run_one(args: &Args) -> Result<(), ParseError> {
         scale,
     );
     if json {
-        let out = serde_json::json!({
-            "benchmark": benchmark.name(),
-            "policy": policy.label(),
-            "threads": threads,
-            "seed": seed,
-            "commits": m.commits,
-            "speedup": m.speedup(),
-            "abort_ratio": m.abort_ratio(),
-            "fallback_fraction": m.fallback_fraction(),
-            "makespan_cycles": m.makespan,
-            "sequential_cycles": m.sequential_cycles,
-        });
-        println!("{}", serde_json::to_string_pretty(&out).expect("json"));
+        use seer_harness::{Json, ToJson};
+        let out = Json::object([
+            ("benchmark", benchmark.name().to_json()),
+            ("policy", policy.label().to_json()),
+            ("threads", threads.to_json()),
+            ("seed", seed.to_json()),
+            ("commits", m.commits.to_json()),
+            ("speedup", m.speedup().to_json()),
+            ("abort_ratio", m.abort_ratio().to_json()),
+            ("fallback_fraction", m.fallback_fraction().to_json()),
+            ("makespan_cycles", m.makespan.to_json()),
+            ("sequential_cycles", m.sequential_cycles.to_json()),
+        ]);
+        println!("{}", out.to_string_pretty());
     } else {
         println!("{} under {} with {threads} thread(s), seed {seed}:", benchmark.name(), policy.label());
         println!("{}", metrics_summary(&m));

@@ -171,6 +171,34 @@ mod tests {
     }
 
     #[test]
+    fn reconverges_after_forced_throughput_regression() {
+        // The environment first rewards high Th1; after the climber settles
+        // there, the landscape inverts (a forced regression: the point it
+        // sits on is now the worst). Because moves are judged against the
+        // *previous window* rather than a historical best, the climber must
+        // walk back down and settle near the new peak.
+        let mut h = HillClimber::with_params(Thresholds { th1: 0.5, th2: 0.5 }, 0.05, 0.0);
+        let mut rng = SimRng::new(13);
+        let mut current = h.thresholds();
+        for _ in 0..4000 {
+            current = h.observe(10.0 * current.th1, &mut rng);
+        }
+        assert!(
+            h.previous.th1 > 0.8,
+            "precondition: climber should sit near the old peak, got {:?}",
+            h.previous
+        );
+        for _ in 0..8000 {
+            current = h.observe(10.0 * (1.0 - current.th1), &mut rng);
+        }
+        assert!(
+            h.previous.th1 < 0.2,
+            "climber failed to re-converge after the regression: {:?}",
+            h.previous
+        );
+    }
+
+    #[test]
     fn random_jumps_move_far() {
         let mut h = HillClimber::with_params(Thresholds { th1: 0.5, th2: 0.5 }, 0.01, 1.0);
         let mut rng = SimRng::new(5);

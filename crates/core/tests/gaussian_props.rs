@@ -1,0 +1,76 @@
+//! Property-based edge-case coverage for the Gaussian percentile machinery
+//! behind the Th2 cut (degenerate rows, extreme percentiles).
+
+use proptest::prelude::*;
+use seer::gaussian::{gaussian_percentile, mean_variance, std_normal_cdf, std_normal_quantile};
+
+#[test]
+fn empty_row_yields_the_degenerate_gaussian() {
+    // An all-idle row (no conditional probabilities at all) must not poison
+    // the cut-off: N(0, 0) at any percentile is 0.
+    let (mean, variance) = mean_variance(&[]);
+    assert_eq!((mean, variance), (0.0, 0.0));
+    assert_eq!(gaussian_percentile(mean, variance, 0.8), 0.0);
+    assert_eq!(gaussian_percentile(mean, variance, 0.0), 0.0);
+    assert_eq!(gaussian_percentile(mean, variance, 1.0), 0.0);
+}
+
+proptest! {
+    #[test]
+    fn zero_variance_returns_the_mean_for_any_percentile(
+        mean in -10.0f64..10.0,
+        percentile in 0.0f64..1.0,
+    ) {
+        prop_assert_eq!(gaussian_percentile(mean, 0.0, percentile), mean);
+        // Negative variance is nonsensical input; the convention is the
+        // same degenerate answer rather than NaN.
+        prop_assert_eq!(gaussian_percentile(mean, -1.0, percentile), mean);
+    }
+
+    #[test]
+    fn single_sample_rows_degenerate_to_that_sample(
+        sample in 0.0f64..1.0,
+        percentile in 0.0f64..1.0,
+    ) {
+        let (mean, variance) = mean_variance(&[sample]);
+        prop_assert_eq!(mean, sample);
+        prop_assert_eq!(variance, 0.0);
+        prop_assert_eq!(gaussian_percentile(mean, variance, percentile), sample);
+    }
+
+    #[test]
+    fn constant_rows_have_zero_variance(value in 0.0f64..1.0, len in 1usize..32) {
+        let row = vec![value; len];
+        let (mean, variance) = mean_variance(&row);
+        prop_assert!((mean - value).abs() < 1e-12);
+        prop_assert!(variance.abs() < 1e-18);
+        prop_assert!((gaussian_percentile(mean, variance, 0.99) - value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extreme_th2_percentiles_stay_finite_and_ordered(
+        mean in 0.0f64..1.0,
+        sigma in 1e-4f64..0.5,
+        percentile in 0.5f64..1.0,
+    ) {
+        // Th2 = 0 and Th2 = 1 are representable climber states: the cut
+        // must clamp to a finite value, not hit the quantile's open-interval
+        // panic, and stay monotone in the percentile.
+        let variance = sigma * sigma;
+        let floor = gaussian_percentile(mean, variance, 0.0);
+        let cut = gaussian_percentile(mean, variance, percentile);
+        let ceil = gaussian_percentile(mean, variance, 1.0);
+        prop_assert!(floor.is_finite() && cut.is_finite() && ceil.is_finite());
+        prop_assert!(floor <= cut && cut <= ceil);
+        // At ~6 sigma from the mean, the clamped extremes bracket
+        // everything a probability row can contain.
+        prop_assert!(floor < mean - 5.0 * sigma);
+        prop_assert!(ceil > mean + 5.0 * sigma);
+    }
+
+    #[test]
+    fn quantile_roundtrips_through_the_cdf(p in 0.001f64..0.999) {
+        let z = std_normal_quantile(p);
+        prop_assert!((std_normal_cdf(z) - p).abs() < 1e-6);
+    }
+}

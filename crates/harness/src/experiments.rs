@@ -7,6 +7,7 @@
 
 use seer_stamp::Benchmark;
 
+use crate::json::{Json, ToJson};
 use crate::policy::PolicyKind;
 use crate::report::{Panel, PercentTable, Series};
 use crate::runner::{geometric_mean, run_cell, run_once, Cell, HarnessConfig};
@@ -290,7 +291,7 @@ pub fn core_locks_only(cfg: &HarnessConfig, threads: &[usize]) -> Panel {
 }
 
 /// Inference-accuracy scores for one benchmark at one thread count.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct AccuracyResult {
     /// Benchmark name.
     pub benchmark: String,
@@ -303,6 +304,18 @@ pub struct AccuracyResult {
     pub inferred: usize,
     /// Number of significant pairs in the ground truth.
     pub truth: usize,
+}
+
+impl ToJson for AccuracyResult {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("benchmark", self.benchmark.to_json()),
+            ("precision", self.precision.to_json()),
+            ("recall", self.recall.to_json()),
+            ("inferred", self.inferred.to_json()),
+            ("truth", self.truth.to_json()),
+        ])
+    }
 }
 
 /// Extra experiment (not in the paper, enabled by the simulator's oracle):
@@ -366,7 +379,7 @@ pub fn inference_accuracy(threads: usize, scale: f64, significance: f64) -> Vec<
 }
 
 /// One row of the fine-grained (structure-refined) extension experiment.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct FineGrainedResult {
     /// Benchmark name.
     pub benchmark: String,
@@ -378,6 +391,18 @@ pub struct FineGrainedResult {
     pub plain_pairs: usize,
     /// Serialized pairs in the refined lock table.
     pub refined_pairs: usize,
+}
+
+impl ToJson for FineGrainedResult {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("benchmark", self.benchmark.to_json()),
+            ("plain", self.plain.to_json()),
+            ("refined", self.refined.to_json()),
+            ("plain_pairs", self.plain_pairs.to_json()),
+            ("refined_pairs", self.refined_pairs.to_json()),
+        ])
+    }
 }
 
 /// Future-work extension experiment (paper §6): Seer with block-granular
@@ -425,7 +450,7 @@ pub fn fine_grained(threads: usize, scale: f64, seeds: u64) -> Vec<FineGrainedRe
 }
 
 /// Convergence of the probabilistic inference for one benchmark.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct ConvergenceResult {
     /// Benchmark name.
     pub benchmark: String,
@@ -437,6 +462,18 @@ pub struct ConvergenceResult {
     pub converged_fraction: Option<f64>,
     /// Number of recomputations performed in-run.
     pub updates: u64,
+}
+
+impl ToJson for ConvergenceResult {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("benchmark", self.benchmark.to_json()),
+            ("converged_at", self.converged_at.to_json()),
+            ("makespan", self.makespan.to_json()),
+            ("converged_fraction", self.converged_fraction.to_json()),
+            ("updates", self.updates.to_json()),
+        ])
+    }
 }
 
 /// Extra experiment: how quickly does Seer's locking scheme converge?

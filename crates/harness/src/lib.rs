@@ -23,6 +23,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod json;
 pub mod policy;
 pub mod report;
 pub mod runner;
@@ -31,6 +32,7 @@ pub use experiments::{
     convergence, core_locks_only, figure3, figure4, figure5, fine_grained, inference_accuracy,
     table3, AccuracyResult, ConvergenceResult, FineGrainedResult, THREADS_FULL, THREADS_TABLE,
 };
+pub use json::{Json, ToJson};
 pub use policy::PolicyKind;
 pub use report::{maybe_write_json, Panel, PercentTable, Series};
 pub use runner::{geometric_mean, run_cell, run_once, Cell, CellResult, HarnessConfig};

@@ -32,6 +32,22 @@ pub enum PolicyKind {
 }
 
 impl PolicyKind {
+    /// Every policy variant, in declaration order (used by exhaustive
+    /// sweeps such as the conformance replay matrix).
+    pub const ALL: [PolicyKind; 11] = [
+        PolicyKind::Hle,
+        PolicyKind::Rtm,
+        PolicyKind::Scm,
+        PolicyKind::Ats,
+        PolicyKind::Seer,
+        PolicyKind::SeerProfileOnly,
+        PolicyKind::SeerPlusTxLocks,
+        PolicyKind::SeerPlusCoreLocks,
+        PolicyKind::SeerPlusHtmLocks,
+        PolicyKind::SeerPlusHillClimbing,
+        PolicyKind::SeerCoreLocksOnly,
+    ];
+
     /// The four curves of Figure 3, in the paper's legend order.
     pub const FIGURE3: [PolicyKind; 4] = [
         PolicyKind::Hle,

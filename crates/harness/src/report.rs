@@ -3,8 +3,10 @@
 
 use std::fmt::Write as _;
 
+use crate::json::{Json, ToJson};
+
 /// A named series of `(x, y)` points (one curve of a figure).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Curve label (e.g. a policy name).
     pub label: String,
@@ -12,8 +14,17 @@ pub struct Series {
     pub points: Vec<(usize, f64)>,
 }
 
+impl ToJson for Series {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("label", self.label.to_json()),
+            ("points", self.points.to_json()),
+        ])
+    }
+}
+
 /// One panel of a figure: several series over a shared x-axis.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Panel {
     /// Panel title (e.g. a benchmark name).
     pub title: String,
@@ -55,8 +66,17 @@ impl Panel {
     }
 }
 
+impl ToJson for Panel {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("title", self.title.to_json()),
+            ("series", self.series.to_json()),
+        ])
+    }
+}
+
 /// A labelled table of percentage rows (Table 3 style).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct PercentTable {
     /// Table title.
     pub title: String,
@@ -95,14 +115,24 @@ impl PercentTable {
     }
 }
 
+impl ToJson for PercentTable {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("title", self.title.to_json()),
+            ("columns", self.columns.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
 /// Writes `value` as pretty JSON to the path named by the
 /// `SEER_REPORT_JSON` environment variable, if set. Returns whether a file
 /// was written. Lets plotting scripts consume exact numbers without
 /// scraping the text output.
-pub fn maybe_write_json<T: serde::Serialize>(value: &T) -> std::io::Result<bool> {
+pub fn maybe_write_json<T: ToJson>(value: &T) -> std::io::Result<bool> {
     match std::env::var("SEER_REPORT_JSON") {
         Ok(path) if !path.is_empty() => {
-            let json = serde_json::to_string_pretty(value).expect("serializable report");
+            let json = value.to_json().to_string_pretty();
             std::fs::write(&path, json)?;
             Ok(true)
         }

@@ -279,6 +279,8 @@ impl<'w, 's> Driver<'w, 's> {
                 break;
             }
             self.dispatch(ev);
+            #[cfg(feature = "check-invariants")]
+            self.assert_invariants();
         }
     }
 
@@ -290,7 +292,91 @@ impl<'w, 's> Driver<'w, 's> {
             .map(|t| t.finished_at)
             .max()
             .unwrap_or(0);
+        metrics.trace_hash = self.queue.trace_hash();
+        #[cfg(feature = "check-invariants")]
+        if !metrics.truncated {
+            let violations = metrics.check_conservation();
+            assert!(
+                violations.is_empty(),
+                "conservation laws violated at end of run: {violations:#?}"
+            );
+        }
         metrics
+    }
+
+    /// Structural invariants that must hold between any two driver events.
+    /// Compiled only under `check-invariants`; see DESIGN.md (conformance
+    /// layer) for the catalogue.
+    #[cfg(feature = "check-invariants")]
+    fn assert_invariants(&self) {
+        // SGL subscription consistency: while the fall-back lock is held no
+        // hardware transaction may be running — begin-time subscription
+        // aborts late starters and `kill_all` sweeps the rest on acquire.
+        if self.locks.is_locked(LockId::Sgl) {
+            for (th, ctx) in self.threads.iter().enumerate() {
+                assert!(
+                    ctx.phase != Phase::Running,
+                    "thread {th} runs in HTM while the SGL is held"
+                );
+            }
+        }
+        for (th, ctx) in self.threads.iter().enumerate() {
+            // Held-lock bookkeeping must agree with the lock bank, with no
+            // duplicate entries (a duplicate would double-release).
+            let mut sorted = ctx.held.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert!(
+                sorted.len() == ctx.held.len(),
+                "thread {th} records duplicate held locks: {:?}",
+                ctx.held
+            );
+            for &l in &ctx.held {
+                assert!(
+                    self.locks.is_held_by(l, th),
+                    "thread {th} records {l:?} as held but the bank disagrees"
+                );
+            }
+            // Phase / request consistency.
+            match ctx.phase {
+                Phase::Thinking | Phase::Gating | Phase::Running | Phase::FallbackRunning => {
+                    assert!(
+                        ctx.req.is_some(),
+                        "thread {th} in {:?} without an active request",
+                        ctx.phase
+                    );
+                }
+                Phase::Done => {
+                    assert!(ctx.req.is_none(), "finished thread {th} still has a request");
+                }
+            }
+            if ctx.phase == Phase::FallbackRunning {
+                assert!(
+                    self.locks.is_held_by(LockId::Sgl, th),
+                    "thread {th} on the fall-back path without the SGL"
+                );
+            }
+        }
+        // Running conservation: commits are partitioned by mode and by the
+        // attempt histogram at every instant, every conflict abort has a
+        // ground-truth kill record, and attempts never lag their outcomes.
+        let m = &self.metrics;
+        assert_eq!(m.modes.total(), m.commits, "modes must partition commits");
+        let hist: u64 = m.attempts_histogram.iter().sum();
+        assert_eq!(hist, m.commits, "attempt histogram must partition commits");
+        assert_eq!(
+            m.ground_truth.total(),
+            m.aborts.conflict,
+            "every conflict abort needs a ground-truth kill record"
+        );
+        let htm_commits = m.commits - m.modes.get(TxMode::SglFallback);
+        assert!(
+            m.htm_attempts >= htm_commits + m.aborts.total(),
+            "more attempt outcomes ({} commits + {} aborts) than attempts ({})",
+            htm_commits,
+            m.aborts.total(),
+            m.htm_attempts
+        );
     }
 
     fn dispatch(&mut self, ev: Event) {
@@ -345,6 +431,15 @@ impl<'w, 's> Driver<'w, 's> {
     }
 
     fn stale(&self, th: ThreadId, epoch: u64) -> bool {
+        // Epoch monotonicity: epochs only ever advance, so a delivered event
+        // can carry at most the thread's current epoch. Anything newer means
+        // the event was fabricated or the epoch counter went backwards.
+        #[cfg(feature = "check-invariants")]
+        assert!(
+            epoch <= self.threads[th].epoch,
+            "event for thread {th} carries epoch {epoch} from the future (current {})",
+            self.threads[th].epoch
+        );
         self.threads[th].epoch != epoch
     }
 
@@ -490,6 +585,12 @@ impl<'w, 's> Driver<'w, 's> {
                         // transaction (paper §4). Cost: one begin/commit
                         // pair instead of one RMW per lock.
                         for &l in &needed {
+                            #[cfg(feature = "check-invariants")]
+                            assert!(
+                                self.threads[th].held.iter().all(|&h| h < l),
+                                "non-canonical acquisition: {l:?} after holding {:?}",
+                                self.threads[th].held
+                            );
                             let ok = self.locks.get_mut(l).try_acquire(th, self.now);
                             debug_assert!(ok);
                             self.threads[th].held.push(l);
@@ -533,6 +634,15 @@ impl<'w, 's> Driver<'w, 's> {
             }
             return true;
         }
+        // Deadlock freedom rests on every thread acquiring in canonical
+        // `LockId` order; growing a held set downwards must instead go
+        // through `ReleaseHeld` + fresh ordered acquisition.
+        #[cfg(feature = "check-invariants")]
+        assert!(
+            self.threads[th].held.iter().all(|&h| h < l),
+            "non-canonical acquisition: {l:?} after holding {:?}",
+            self.threads[th].held
+        );
         if self.locks.get_mut(l).try_acquire(th, self.now) {
             self.threads[th].held.push(l);
             self.threads[th].pending_delay += self.cfg.costs.cas;
@@ -965,6 +1075,23 @@ mod tests {
         assert_eq!(a.aborts.total(), b.aborts.total());
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.modes, b.modes);
+        // The trace hash digests the full event schedule, so agreement here
+        // is a far stronger statement than the aggregate equalities above.
+        assert_ne!(a.trace_hash, 0, "driver must export the schedule digest");
+        assert_eq!(a.trace_hash, b.trace_hash);
+    }
+
+    #[test]
+    fn conservation_laws_hold_across_contention_levels() {
+        for (shared, writes, threads) in
+            [(false, true, 4), (true, true, 8), (true, false, 4)]
+        {
+            let mut w = Uniform::new(threads, 40, 8, shared, writes);
+            let mut s = NullScheduler::new(3);
+            let m = run(&mut w, &mut s, &quiet_config(threads));
+            let violations = m.check_conservation();
+            assert!(violations.is_empty(), "violated: {violations:#?}");
+        }
     }
 
     #[test]

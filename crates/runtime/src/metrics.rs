@@ -216,6 +216,11 @@ pub struct RunMetrics {
     pub ground_truth: ConflictGroundTruth,
     /// True when the run hit the event safety valve before completing.
     pub truncated: bool,
+    /// Digest of the run's entire event schedule in execution order (from
+    /// [`seer_sim::EventQueue::trace_hash`]). Two runs of the same
+    /// (workload, scheduler, config, seed) must report identical hashes;
+    /// the conformance suite's replay fixtures pin selected values.
+    pub trace_hash: u64,
 }
 
 impl RunMetrics {
@@ -237,7 +242,84 @@ impl RunMetrics {
             tx_locks_available,
             ground_truth: ConflictGroundTruth::new(blocks),
             truncated: false,
+            trace_hash: 0,
         }
+    }
+
+    /// Checks the conservation laws that must hold at the end of any
+    /// non-truncated run, regardless of workload or scheduler. Returns the
+    /// list of violated laws (empty = all hold).
+    ///
+    /// The laws, and what each one pins down:
+    ///
+    /// 1. **Modes partition commits** — every committed transaction is
+    ///    classified in exactly one Table 3 mode.
+    /// 2. **Attempt histogram partitions commits** — every commit consumed
+    ///    a definite number of hardware attempts (or fell back).
+    /// 3. **Fall-backs fill the last histogram bucket, and only it** —
+    ///    `fallbacks`, SGL-mode commits, and the final bucket are three
+    ///    counters for the same set of transactions.
+    /// 4. **Ground truth matches conflict aborts** — the simulator's
+    ///    private kill matrix records exactly one (victim, killer) pair per
+    ///    conflict abort.
+    /// 5. **Attempt accounting** — every hardware attempt ends in exactly
+    ///    one of: an HTM commit (a commit in any non-SGL mode) or an abort,
+    ///    so `htm_attempts = (commits − fallbacks) + total aborts`.
+    pub fn check_conservation(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut check = |ok: bool, law: String| {
+            if !ok {
+                violations.push(law);
+            }
+        };
+        check(
+            self.modes.total() == self.commits,
+            format!(
+                "modes must partition commits: {} != {}",
+                self.modes.total(),
+                self.commits
+            ),
+        );
+        let hist_total: u64 = self.attempts_histogram.iter().sum();
+        check(
+            hist_total == self.commits,
+            format!("attempt histogram must partition commits: {hist_total} != {}", self.commits),
+        );
+        let last_bucket = self.attempts_histogram.last().copied().unwrap_or(0);
+        check(
+            last_bucket == self.fallbacks,
+            format!(
+                "last histogram bucket must equal fallbacks: {last_bucket} != {}",
+                self.fallbacks
+            ),
+        );
+        check(
+            self.modes.get(TxMode::SglFallback) == self.fallbacks,
+            format!(
+                "SGL-mode commits must equal fallbacks: {} != {}",
+                self.modes.get(TxMode::SglFallback),
+                self.fallbacks
+            ),
+        );
+        check(
+            self.ground_truth.total() == self.aborts.conflict,
+            format!(
+                "ground-truth kills must equal conflict aborts: {} != {}",
+                self.ground_truth.total(),
+                self.aborts.conflict
+            ),
+        );
+        check(
+            self.htm_attempts == (self.commits - self.fallbacks) + self.aborts.total(),
+            format!(
+                "attempts must balance commits + aborts: {} != ({} - {}) + {}",
+                self.htm_attempts,
+                self.commits,
+                self.fallbacks,
+                self.aborts.total()
+            ),
+        );
+        violations
     }
 
     /// Speedup over the sequential non-instrumented execution.

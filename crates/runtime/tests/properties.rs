@@ -89,6 +89,7 @@ proptest! {
         prop_assert_eq!(a.aborts.total(), b.aborts.total());
         prop_assert_eq!(a.wait_cycles, b.wait_cycles);
         prop_assert_eq!(a.modes, b.modes);
+        prop_assert_eq!(a.trace_hash, b.trace_hash);
     }
 
     /// Read-only workloads never conflict, never fall back, and commit on
@@ -126,5 +127,141 @@ proptest! {
         prop_assert!(m.makespan >= m.sequential_cycles,
             "1-thread HTM run cannot beat the raw sequential cost: {} < {}",
             m.makespan, m.sequential_cycles);
+    }
+}
+
+// ---- canonical lock ordering ------------------------------------------
+
+use seer_runtime::{AbortDecision, Gate, LockId, SchedEnv, Scheduler};
+
+fn arb_lock() -> impl Strategy<Value = LockId> {
+    (0u8..4, 0usize..8).prop_map(|(variant, idx)| match variant {
+        0 => LockId::Sgl,
+        1 => LockId::Aux,
+        2 => LockId::Core(idx),
+        _ => LockId::Tx(idx),
+    })
+}
+
+fn class_rank(l: LockId) -> u8 {
+    match l {
+        LockId::Sgl => 0,
+        LockId::Aux => 1,
+        LockId::Core(_) => 2,
+        LockId::Tx(_) => 3,
+    }
+}
+
+/// A scheduler that demands a scrambled multi-lock set before every
+/// attempt: the driver must canonicalize the order, so the run completes
+/// without deadlock no matter how adversarial the list is.
+struct ScrambledLocks {
+    locks: Vec<LockId>,
+    via_htm: bool,
+}
+
+impl Scheduler for ScrambledLocks {
+    fn name(&self) -> &'static str {
+        "scrambled-locks"
+    }
+    fn attempt_budget(&self) -> u32 {
+        5
+    }
+    fn pre_attempt_gates(
+        &mut self,
+        _thread: usize,
+        _block: usize,
+        _attempts_left: u32,
+        _env: &mut SchedEnv<'_>,
+    ) -> Vec<Gate> {
+        vec![
+            Gate::ReleaseHeld,
+            Gate::AcquireMany {
+                locks: self.locks.clone(),
+                via_htm: self.via_htm,
+            },
+        ]
+    }
+    fn on_abort(
+        &mut self,
+        _thread: usize,
+        _block: usize,
+        _status: seer_htm::XStatus,
+        _attempts_left: u32,
+        _env: &mut SchedEnv<'_>,
+    ) -> AbortDecision {
+        AbortDecision::Retry { gates: Vec::new() }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The derived `Ord` is the canonical deadlock-avoiding order:
+    /// `Sgl < Aux < Core(_) < Tx(_)`, each class by index.
+    #[test]
+    fn lock_ordering_is_canonical(
+        locks in prop::collection::vec(arb_lock(), 0..12),
+        a in arb_lock(),
+        b in arb_lock(),
+    ) {
+        let mut sorted = locks.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for w in sorted.windows(2) {
+            prop_assert!(class_rank(w[0]) <= class_rank(w[1]),
+                "class order violated: {:?} before {:?}", w[0], w[1]);
+            match (w[0], w[1]) {
+                (LockId::Core(i), LockId::Core(j)) | (LockId::Tx(i), LockId::Tx(j)) => {
+                    prop_assert!(i < j, "index order violated: {:?} before {:?}", w[0], w[1]);
+                }
+                _ => {}
+            }
+        }
+        // Total, antisymmetric, consistent with equality.
+        prop_assert_eq!(a == b, a.cmp(&b).is_eq());
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+    }
+
+    /// Scrambled, duplicated, adversarially-ordered `AcquireMany` lists
+    /// must never wedge the driver: it canonicalizes the order, so every
+    /// transaction still commits.
+    #[test]
+    fn scrambled_multi_lock_acquisition_cannot_deadlock(
+        locks in prop::collection::vec(arb_lock(), 1..6),
+        via_htm in any::<bool>(),
+        threads in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        // Exclude the SGL (acquiring the fall-back lock as a scheduler lock
+        // and then entering the fall-back path would double-acquire it) and
+        // clamp indices to the lock bank's actual shape: 4 physical cores,
+        // `blocks` transaction locks.
+        let blocks = 4usize;
+        let locks: Vec<LockId> = locks
+            .into_iter()
+            .filter(|l| *l != LockId::Sgl)
+            .map(|l| match l {
+                LockId::Core(i) => LockId::Core(i % 4),
+                LockId::Tx(i) => LockId::Tx(i % blocks),
+                other => other,
+            })
+            .collect();
+        let spec = SyntheticSpec {
+            name: "scramble".into(),
+            blocks: vec![
+                BlockSpec { accesses: 6, write_fraction: 0.5, ..BlockSpec::default() };
+                blocks
+            ],
+            txs_per_thread: 15,
+            think: (10, 60),
+        };
+        let mut w = SyntheticWorkload::new(spec, threads);
+        let mut s = ScrambledLocks { locks, via_htm };
+        let mut cfg = DriverConfig::paper_machine(threads, seed);
+        cfg.costs.async_abort_per_cycle = 0.0;
+        let m = run(&mut w, &mut s, &cfg);
+        prop_assert!(!m.truncated, "scrambled locks wedged the driver");
+        prop_assert_eq!(m.commits, (15 * threads) as u64);
     }
 }

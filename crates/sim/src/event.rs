@@ -68,6 +68,12 @@ pub struct EventQueue<E> {
     /// Time of the most recently popped event; pushes earlier than this are
     /// causality violations and panic in debug builds.
     watermark: Cycles,
+    /// Rolling FNV-1a digest of every popped `(time, seq)` pair: a compact
+    /// fingerprint of the entire event schedule in execution order. Two
+    /// runs pop the same events in the same order if and only if their
+    /// trace hashes agree, which is what the deterministic-replay fixtures
+    /// in `seer-conformance` compare.
+    trace_hash: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -83,15 +89,24 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             watermark: 0,
+            trace_hash: 0xcbf2_9ce4_8422_2325, // FNV-1a offset basis
         }
     }
 
     /// Schedules `payload` to fire at `time`.
     ///
     /// Scheduling an event before the current watermark (the time of the
-    /// last popped event) would break causality; debug builds assert
-    /// against it, release builds clamp to the watermark.
+    /// last popped event) would break causality; debug builds and
+    /// `check-invariants` builds assert against it, plain release builds
+    /// clamp to the watermark.
     pub fn push(&mut self, time: Cycles, payload: E) {
+        #[cfg(feature = "check-invariants")]
+        assert!(
+            time >= self.watermark,
+            "causality violation: event scheduled at {} before watermark {}",
+            time,
+            self.watermark
+        );
         debug_assert!(
             time >= self.watermark,
             "event scheduled at {} before watermark {}",
@@ -108,6 +123,15 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
         let entry = self.heap.pop()?;
         self.watermark = entry.time;
+        // Fold the popped (time, seq) pair into the trace digest. `seq`
+        // captures scheduling order, so the digest distinguishes even
+        // same-time reorderings.
+        for word in [entry.time, entry.seq] {
+            for byte in word.to_le_bytes() {
+                self.trace_hash ^= u64::from(byte);
+                self.trace_hash = self.trace_hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
         Some((entry.time, entry.payload))
     }
 
@@ -129,6 +153,15 @@ impl<E> EventQueue<E> {
     /// Time of the most recently popped event.
     pub fn now(&self) -> Cycles {
         self.watermark
+    }
+
+    /// Digest of every event popped so far, in execution order.
+    ///
+    /// Two queues that popped identical `(time, seq)` schedules report the
+    /// same hash; any divergence — an extra event, a missing event, a
+    /// different time, a different tie-break order — changes it.
+    pub fn trace_hash(&self) -> u64 {
+        self.trace_hash
     }
 }
 
@@ -194,7 +227,7 @@ mod tests {
         assert!(!q.is_empty());
     }
 
-    #[cfg(not(debug_assertions))]
+    #[cfg(not(any(debug_assertions, feature = "check-invariants")))]
     #[test]
     fn release_mode_clamps_to_watermark() {
         let mut q = EventQueue::new();
@@ -202,5 +235,30 @@ mod tests {
         q.pop();
         q.push(5, "late"); // clamped to 10
         assert_eq!(q.pop(), Some((10, "late")));
+    }
+
+    #[test]
+    fn trace_hash_tracks_the_popped_schedule() {
+        let schedule = |times: &[Cycles]| {
+            let mut q = EventQueue::new();
+            for &t in times {
+                q.push(t, ());
+            }
+            while q.pop().is_some() {}
+            q.trace_hash()
+        };
+        // Identical schedules agree.
+        assert_eq!(schedule(&[5, 1, 9]), schedule(&[5, 1, 9]));
+        // Insertion order matters even for equal times (different seq).
+        assert_ne!(schedule(&[5, 1, 9]), schedule(&[1, 5, 9]));
+        // Different times differ.
+        assert_ne!(schedule(&[5, 1, 9]), schedule(&[5, 1, 10]));
+        // Unpopped events don't contribute.
+        let mut q = EventQueue::new();
+        let empty_hash = q.trace_hash();
+        q.push(3, ());
+        assert_eq!(q.trace_hash(), empty_hash);
+        q.pop();
+        assert_ne!(q.trace_hash(), empty_hash);
     }
 }

@@ -4,28 +4,47 @@
 //! run is a pure function of `(config, seed)`. The paper averages 20
 //! wall-clock runs on real hardware; we average over seeds instead
 //! (`DESIGN.md` §2).
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (seeded through
+//! SplitMix64), so the simulation owns its entire entropy pipeline: no
+//! external crate can silently change the stream between releases, which is
+//! what the deterministic-replay fixtures in `seer-conformance` rely on.
 
 use crate::Cycles;
 
 /// Deterministic simulation RNG.
 ///
-/// Wraps [`SmallRng`] (xoshiro256++ on 64-bit targets) with domain helpers:
-/// integer ranges, Bernoulli trials, bounded Zipf sampling (used by the
-/// STAMP workload models for skewed data-structure access), and derived
-/// per-thread streams.
+/// A xoshiro256++ generator with domain helpers: integer ranges, Bernoulli
+/// trials, bounded Zipf sampling (used by the STAMP workload models for
+/// skewed data-structure access), and derived per-thread streams.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+/// One step of SplitMix64 over `state`, returning the next output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        // Expand the seed into the 256-bit state with SplitMix64, the
+        // initialization the xoshiro authors recommend: it guarantees a
+        // non-zero state and decorrelates adjacent seeds.
+        let mut sm = seed;
         Self {
-            inner: SmallRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -42,7 +61,37 @@ impl SimRng {
 
     fn seed_fingerprint(&self) -> u64 {
         // Clone so fingerprinting does not advance this stream.
-        self.inner.clone().next_u64()
+        self.clone().next_u64()
+    }
+
+    /// Next 64 random bits (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 random bits (upper half of a 64-bit step).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
     }
 
     /// Uniform integer in `[0, bound)`.
@@ -51,13 +100,30 @@ impl SimRng {
     /// If `bound == 0`.
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..bound)
+        // Lemire's nearly-divisionless bounded sampling: widen, multiply,
+        // reject the biased low slice.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform integer in `[lo, hi]` (inclusive).
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range [{lo}, {hi}]");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
     }
 
     /// Uniform cycle count in `[lo, hi]`, a convenience alias used by the
@@ -73,13 +139,13 @@ impl SimRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.unit() < p
         }
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` (53 bits of precision).
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Samples an index in `[0, n)` from a Zipf distribution with exponent
@@ -89,21 +155,6 @@ impl SimRng {
     /// per access, so the O(n) normalization cost is paid only at setup.
     pub fn zipf(&mut self, table: &ZipfTable) -> usize {
         table.sample(self.unit())
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -200,6 +251,54 @@ mod tests {
         for _ in 0..1000 {
             assert!(r.below(17) < 17);
         }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = SimRng::new(13);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[r.below(8) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut r = SimRng::new(17);
+        for _ in 0..10_000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn range_inclusive_covers_endpoints() {
+        let mut r = SimRng::new(19);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..1000 {
+            match r.range_inclusive(5, 7) {
+                5 => saw_lo = true,
+                7 => saw_hi = true,
+                6 => {}
+                v => panic!("out of range: {v}"),
+            }
+        }
+        assert!(saw_lo && saw_hi);
+        assert_eq!(r.range_inclusive(9, 9), 9);
+    }
+
+    #[test]
+    fn fill_bytes_varies() {
+        let mut r = SimRng::new(23);
+        let mut a = [0u8; 13];
+        let mut b = [0u8; 13];
+        r.fill_bytes(&mut a);
+        r.fill_bytes(&mut b);
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -59,7 +59,6 @@ proptest! {
     /// Same seed => identical stream; derive(label) deterministic.
     #[test]
     fn rng_reproducibility(seed in any::<u64>(), label in any::<u64>()) {
-        use rand::RngCore;
         let mut a = SimRng::new(seed);
         let mut b = SimRng::new(seed);
         for _ in 0..16 {

@@ -79,24 +79,32 @@ mod tests {
     fn excluded_benchmark_capacity_bound() {
         // RTM (which waits while the fall-back lock is held, so its aborts
         // reflect genuine hardware failures rather than lock subscription).
-        let mut m = model(4, 12);
-        let mut s = Rtm::default();
-        let mut cfg = DriverConfig::paper_machine(4, 3);
-        cfg.costs.async_abort_per_cycle = 0.0;
-        let metrics = run(&mut m, &mut s, &cfg);
-        assert_eq!(metrics.commits, 48);
-        // The dominant block cannot commit in hardware: the run is carried
-        // by the fall-back, exactly why the paper excluded labyrinth.
+        // Aggregated over a few seeds: a single run's capacity/conflict
+        // split is close enough to parity that per-seed noise could flip
+        // the comparison, and the claim is about the workload, not a seed.
+        let mut capacity = 0u64;
+        let mut conflict = 0u64;
+        for seed in 0..3 {
+            let mut m = model(4, 12);
+            let mut s = Rtm::default();
+            let mut cfg = DriverConfig::paper_machine(4, seed);
+            cfg.costs.async_abort_per_cycle = 0.0;
+            let metrics = run(&mut m, &mut s, &cfg);
+            assert_eq!(metrics.commits, 48);
+            // The dominant block cannot commit in hardware: the run is
+            // carried by the fall-back, exactly why the paper excluded
+            // labyrinth.
+            assert!(
+                metrics.fallback_fraction() > 0.6,
+                "labyrinth should live on the SGL: {:.3}",
+                metrics.fallback_fraction()
+            );
+            capacity += metrics.aborts.capacity;
+            conflict += metrics.aborts.conflict;
+        }
         assert!(
-            metrics.fallback_fraction() > 0.6,
-            "labyrinth should live on the SGL: {:.3}",
-            metrics.fallback_fraction()
-        );
-        assert!(
-            metrics.aborts.capacity > metrics.aborts.conflict,
-            "capacity must dominate: cap {} vs conf {}",
-            metrics.aborts.capacity,
-            metrics.aborts.conflict
+            capacity > conflict,
+            "capacity must dominate: cap {capacity} vs conf {conflict}"
         );
     }
 }

@@ -1,0 +1,312 @@
+//! Minimal, dependency-free benchmarking shim.
+//!
+//! The workspace must build with **no network access**, so it cannot pull
+//! the real `criterion` crate from a registry. This crate implements the
+//! subset of criterion's API the `seer-bench` suite uses — groups,
+//! `bench_function`, `BenchmarkId`, `criterion_group!`/`criterion_main!` —
+//! with the same call shapes, so the bench files compile unmodified.
+//!
+//! Measurement is intentionally simple: each benchmark is warmed up for
+//! `warm_up_time`, then timed for `sample_size` samples of adaptively many
+//! iterations (aiming to fill `measurement_time`), and the per-iteration
+//! median, minimum, and maximum are printed. There is no statistical
+//! analysis, no plotting, and no baseline comparison — the shim exists so
+//! `cargo bench` runs and reports stable order-of-magnitude numbers
+//! offline.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            // The real criterion defaults to 100 samples / 3s warm-up / 5s
+            // measurement; the shim trims those so the full suite stays
+            // fast while remaining overridable per group.
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// No-op (the shim never plots); kept for call-site compatibility.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Default warm-up duration per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Default measurement duration per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_benchmark(&id.into().0, cfg.sample_size, cfg.warm_up_time, cfg.measurement_time, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().0);
+        run_benchmark(&label, self.sample_size, self.warm_up_time, self.measurement_time, f);
+        self
+    }
+
+    /// Ends the group (no-op beyond matching the real API).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter (the group supplies the rest of the label).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_once<F: FnMut(&mut Bencher)>(f: &mut F, iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm up while estimating the per-iteration cost.
+    let warm_start = Instant::now();
+    let mut iters_done: u64 = 0;
+    let mut batch: u64 = 1;
+    while warm_start.elapsed() < warm_up_time {
+        time_once(&mut f, batch);
+        iters_done += batch;
+        batch = batch.saturating_mul(2).min(1 << 20);
+    }
+    let per_iter = if iters_done > 0 {
+        warm_start.elapsed().as_secs_f64() / iters_done as f64
+    } else {
+        1e-3
+    };
+
+    // Pick iterations per sample so all samples fit the measurement budget.
+    let budget_per_sample = measurement_time.as_secs_f64() / sample_size as f64;
+    let iters = ((budget_per_sample / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+
+    let mut samples: Vec<f64> = (0..sample_size)
+        .map(|_| time_once(&mut f, iters).as_secs_f64() / iters as f64)
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let median = samples[samples.len() / 2];
+
+    println!(
+        "{label:<50} median {} (min {}, max {}, {} samples x {iters} iters)",
+        format_time(median),
+        format_time(min),
+        format_time(max),
+        samples.len(),
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} us", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group: a function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_labels_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+        let id: BenchmarkId = "plain".into();
+        assert_eq!(id.0, "plain");
+    }
+
+    #[test]
+    fn format_time_units() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" us"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

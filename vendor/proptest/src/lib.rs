@@ -1,0 +1,120 @@
+//! Minimal, dependency-free property-testing shim.
+//!
+//! The workspace must build with **no network access**, so it cannot pull
+//! the real `proptest` crate from a registry. This crate implements the
+//! subset of proptest's API the test suites actually use, with the same
+//! names and call shapes, so the tests read identically:
+//!
+//! - `proptest! { ... }` with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! - `Strategy` (with `prop_map`), `any::<T>()`, integer/float range
+//!   strategies, tuple strategies, and `prop::collection::vec`,
+//! - `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! - **No shrinking.** A failing case reports the case number and the
+//!   per-test RNG seed; re-running the test replays the identical sequence
+//!   because generation is fully deterministic (seeded from the test name).
+//! - **No persistence files**, no forking, no timeouts.
+//!
+//! Generation quality still matters (the suites probe edge cases), so
+//! ranges occasionally emit their boundary values rather than sampling
+//! purely uniformly.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::prelude::*` — what the test files import.
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest};
+}
+
+/// The `prop::` namespace (`prop::collection::vec(...)`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::collection_vec as vec;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {
+        assert_eq!($left, $right)
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+)
+    };
+}
+
+/// Declares property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]` that
+/// draws `config.cases` inputs from the strategies and runs the body on
+/// each. Generation is deterministic per test name.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); ) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let seed_here = rng.state_fingerprint();
+                let ($($arg,)+) = (
+                    $( $crate::strategy::Strategy::generate(&($strat), &mut rng), )+
+                );
+                let run = || { $body };
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest shim: {} failed on case {case}/{} (rng fingerprint {seed_here:#x})",
+                        stringify!($name),
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+}

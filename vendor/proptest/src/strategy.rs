@@ -1,0 +1,355 @@
+//! Value-generation strategies: the `Strategy` trait and the concrete
+//! strategies the workspace's tests use (ranges, `any`, tuples, vectors,
+//! `prop_map`).
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for producing random values of one type.
+///
+/// Unlike the real proptest there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// References work as strategies so helpers can borrow.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// How often range strategies emit a boundary value instead of sampling
+/// uniformly (1 in `EDGE_ONE_IN` draws per boundary). Property tests lean
+/// on boundary values to hit off-by-one bugs quickly.
+const EDGE_ONE_IN: u64 = 16;
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                if rng.one_in(EDGE_ONE_IN) {
+                    return self.start;
+                }
+                if rng.one_in(EDGE_ONE_IN) {
+                    return self.end - 1;
+                }
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                if rng.one_in(EDGE_ONE_IN) {
+                    return lo;
+                }
+                if rng.one_in(EDGE_ONE_IN) {
+                    return hi;
+                }
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        if rng.one_in(EDGE_ONE_IN) {
+            return self.start;
+        }
+        let v = self.start + rng.unit() * (self.end - self.start);
+        // Floating-point round-off can land exactly on `end`; stay half-open.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let wide = Range {
+            start: f64::from(self.start),
+            end: f64::from(self.end),
+        };
+        let v = wide.generate(rng) as f32;
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// Strategy for "any value of `T`", from [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// `any::<T>()` — the full domain of `T`.
+pub fn any<T>() -> Any<T>
+where
+    Any<T>: Strategy<Value = T>,
+{
+    Any {
+        _marker: PhantomData,
+    }
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! any_uint_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                if rng.one_in(EDGE_ONE_IN) {
+                    return 0;
+                }
+                if rng.one_in(EDGE_ONE_IN) {
+                    return <$t>::MAX;
+                }
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_uint_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! any_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                if rng.one_in(EDGE_ONE_IN) {
+                    return 0;
+                }
+                if rng.one_in(EDGE_ONE_IN) {
+                    return <$t>::MIN;
+                }
+                if rng.one_in(EDGE_ONE_IN) {
+                    return <$t>::MAX;
+                }
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+);
+
+/// Length specification for [`collection_vec`]: an exact `usize` or a
+/// half-open `Range<usize>`.
+pub trait VecLen {
+    /// Draws a length.
+    fn draw_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl VecLen for usize {
+    fn draw_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl VecLen for Range<usize> {
+    fn draw_len(&self, rng: &mut TestRng) -> usize {
+        self.generate(rng)
+    }
+}
+
+impl VecLen for RangeInclusive<usize> {
+    fn draw_len(&self, rng: &mut TestRng) -> usize {
+        self.generate(rng)
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: VecLen> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.len.draw_len(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, len)` — vectors whose length is drawn
+/// from `len` (a `usize` for an exact length, or a range).
+pub fn collection_vec<S: Strategy, L: VecLen>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..2000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (0.5f64..2.5).generate(&mut rng);
+            assert!((0.5..2.5).contains(&f));
+            let i = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_boundaries() {
+        let mut rng = TestRng::for_test("edges");
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..2000 {
+            match (10u32..13).generate(&mut rng) {
+                10 => lo = true,
+                12 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::for_test("map");
+        let s = (1u64..10).prop_map(|v| v * 100);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((100..1000).contains(&v) && v % 100 == 0);
+        }
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut rng = TestRng::for_test("tuple");
+        let s = (0u8..4, any::<bool>(), 0.0f64..1.0);
+        let (a, _b, c) = s.generate(&mut rng);
+        assert!(a < 4);
+        assert!((0.0..1.0).contains(&c));
+    }
+
+    #[test]
+    fn vec_lengths() {
+        let mut rng = TestRng::for_test("vec");
+        let exact = collection_vec(0u64..5, 7usize);
+        assert_eq!(exact.generate(&mut rng).len(), 7);
+        let ranged = collection_vec(0u64..5, 2usize..6);
+        for _ in 0..200 {
+            let v = ranged.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn any_hits_extremes() {
+        let mut rng = TestRng::for_test("any");
+        let s = any::<u64>();
+        let mut zero = false;
+        let mut max = false;
+        for _ in 0..2000 {
+            match s.generate(&mut rng) {
+                0 => zero = true,
+                u64::MAX => max = true,
+                _ => {}
+            }
+        }
+        assert!(zero && max);
+    }
+}
