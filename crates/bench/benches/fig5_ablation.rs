@@ -2,8 +2,8 @@
 //! benchmark at 8 threads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use seer_bench::BENCH_SCALE;
-use seer_harness::{run_once, Cell, PolicyKind};
+use seer_bench::simulate_cold;
+use seer_harness::{Cell, PolicyKind};
 use seer_stamp::Benchmark;
 use std::hint::black_box;
 
@@ -16,15 +16,11 @@ fn fig5_variants(c: &mut Criterion) {
         let id = BenchmarkId::from_parameter(policy.label());
         group.bench_function(id, |b| {
             b.iter(|| {
-                let m = run_once(
-                    Cell {
-                        benchmark: Benchmark::Genome,
-                        policy,
-                        threads: 8,
-                    },
-                    0,
-                    BENCH_SCALE,
-                );
+                let m = simulate_cold(Cell {
+                    benchmark: Benchmark::Genome,
+                    policy,
+                    threads: 8,
+                });
                 black_box(m.speedup())
             });
         });

@@ -2,8 +2,8 @@
 //! for one representative benchmark per policy.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use seer_bench::BENCH_SCALE;
-use seer_harness::{run_once, Cell, PolicyKind};
+use seer_bench::simulate_cold;
+use seer_harness::{Cell, PolicyKind};
 use seer_stamp::Benchmark;
 use std::hint::black_box;
 
@@ -17,15 +17,11 @@ fn table3_rows(c: &mut Criterion) {
             let id = BenchmarkId::new(policy.label(), threads);
             group.bench_function(id, |b| {
                 b.iter(|| {
-                    let m = run_once(
-                        Cell {
-                            benchmark: Benchmark::VacationHigh,
-                            policy,
-                            threads,
-                        },
-                        0,
-                        BENCH_SCALE,
-                    );
+                    let m = simulate_cold(Cell {
+                        benchmark: Benchmark::VacationHigh,
+                        policy,
+                        threads,
+                    });
                     black_box(m.modes.total())
                 });
             });

@@ -5,7 +5,8 @@
 //! microbenchmarks of the hot paths and the ablation benches called out in
 //! `DESIGN.md` §5:
 //!
-//! * `fig3_speedups` — one simulated run per (benchmark, Figure 3 policy);
+//! * `fig3_speedups` — one simulated run per (benchmark, Figure 3 policy),
+//!   plus the whole Figure 3 plan through the executor at 1 and 4 jobs;
 //! * `table3_modes`, `fig4_overhead`, `fig5_ablation` — the experiment
 //!   kernels behind the corresponding harness binaries;
 //! * `htm_microbench` — conflict-detection and line-set hot paths;
@@ -14,11 +15,34 @@
 //! * `ablations` — conflict-resolution policy, multi-CAS lock acquisition,
 //!   and statistics merge period.
 //!
+//! The simulation benches go through the same [`CellExecutor`] surface the
+//! harness binaries use, with a **fresh executor per iteration** so every
+//! timed run is a cache miss — the quantity of interest is the simulation
+//! cost, not the (near-zero) cache-hit cost.
+//!
 //! Run with `cargo bench --workspace`; each bench uses a reduced workload
 //! scale so a full sweep stays in the minutes range.
+
+use seer_harness::{Cell, CellExecutor, HarnessConfig};
+use seer_runtime::RunMetrics;
 
 /// Workload scale factor shared by the simulation benches.
 pub const BENCH_SCALE: f64 = 0.05;
 
 /// Seeds used by benches (a single seed: Criterion already repeats).
 pub const BENCH_SEED: u64 = 0xBE7C;
+
+/// A cold cell executor at the shared bench scale.
+pub fn bench_executor(jobs: usize) -> CellExecutor {
+    CellExecutor::new(HarnessConfig {
+        seeds: 1,
+        scale: BENCH_SCALE,
+        jobs,
+    })
+}
+
+/// Simulates one cell at seed 0 through a cold executor (always a cache
+/// miss: the timed quantity is the simulation itself).
+pub fn simulate_cold(cell: Cell) -> RunMetrics {
+    bench_executor(1).metrics(cell, 0)
+}

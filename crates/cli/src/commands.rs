@@ -1,7 +1,7 @@
 //! The CLI commands: `list`, `run`, `sweep`, `inspect`.
 
 use seer::{Seer, SeerConfig};
-use seer_harness::{run_once, Cell, PolicyKind};
+use seer_harness::{default_jobs, run_once, Cell, CellExecutor, HarnessConfig, Plan, PolicyKind};
 use seer_runtime::{run, DriverConfig, RunMetrics, TxMode, Workload};
 use seer_stamp::Benchmark;
 
@@ -22,22 +22,11 @@ fn parse_benchmark(name: &str) -> Result<Benchmark, ParseError> {
         .ok_or_else(|| ParseError(format!("unknown benchmark {name:?} (see `seer list`)")))
 }
 
+/// Every [`PolicyKind`] name round-trips through `FromStr`, so the CLI
+/// can run all eleven variants — the Figure 5 cumulative ones included.
 fn parse_policy(name: &str) -> Result<PolicyKind, ParseError> {
-    let policy = match name.to_ascii_lowercase().as_str() {
-        "hle" => PolicyKind::Hle,
-        "rtm" => PolicyKind::Rtm,
-        "scm" => PolicyKind::Scm,
-        "ats" => PolicyKind::Ats,
-        "seer" => PolicyKind::Seer,
-        "seer-profile-only" => PolicyKind::SeerProfileOnly,
-        "seer-core-locks-only" => PolicyKind::SeerCoreLocksOnly,
-        _ => {
-            return Err(ParseError(format!(
-                "unknown policy {name:?} (see `seer list`)"
-            )))
-        }
-    };
-    Ok(policy)
+    name.parse::<PolicyKind>()
+        .map_err(|e| ParseError(e.to_string()))
 }
 
 /// Prints top-level usage.
@@ -50,7 +39,7 @@ pub fn print_usage() {
          \x20 run      one simulated run   --benchmark B --policy P --threads N\n\
          \x20                              [--seed N] [--txs N] [--json true]\n\
          \x20 sweep    thread sweep        --benchmark B [--policies hle,rtm,scm,seer]\n\
-         \x20                              [--max-threads N] [--seed N]\n\
+         \x20                              [--max-threads N] [--seed N] [--jobs N]\n\
          \x20 inspect  Seer's learned state --benchmark B --threads N [--txs N] [--seed N]\n\
          \n\
          Simulated machine: 4 physical cores x 2 hyper-threads (the paper's\n\
@@ -65,16 +54,8 @@ pub fn list() {
         println!("  {:<14} ({} txs/thread by default)", b.name(), b.default_txs());
     }
     println!("\npolicies:");
-    for (name, desc) in [
-        ("hle", "hardware lock elision (no scheduling)"),
-        ("rtm", "software retry + wait-on-fallback-lock"),
-        ("scm", "software-assisted conflict management (aux lock)"),
-        ("ats", "adaptive transaction scheduling (contention factor)"),
-        ("seer", "full Seer (probabilistic scheduling)"),
-        ("seer-profile-only", "Seer monitoring without lock acquisition"),
-        ("seer-core-locks-only", "Seer with only per-core locks"),
-    ] {
-        println!("  {name:<22} {desc}");
+    for p in PolicyKind::ALL {
+        println!("  {:<26} {}", p.name(), p.describe());
     }
 }
 
@@ -155,14 +136,22 @@ pub fn run_one(args: &Args) -> Result<(), ParseError> {
     Ok(())
 }
 
+/// Scale factor `seer sweep` runs at (a full sweep touches up to 88
+/// cells; half scale keeps it interactive).
+const SWEEP_SCALE: f64 = 0.5;
+
 /// `seer sweep`.
 pub fn sweep(args: &Args) -> Result<(), ParseError> {
-    args.allow_only(&["benchmark", "policies", "max-threads", "seed"])?;
+    args.allow_only(&["benchmark", "policies", "max-threads", "seed", "jobs"])?;
     let benchmark = parse_benchmark(args.get("benchmark").unwrap_or("genome"))?;
     let max_threads: usize = args.get_parsed("max-threads", 8)?;
     let seed: u64 = args.get_parsed("seed", 0)?;
+    let jobs: usize = args.get_parsed("jobs", default_jobs())?;
     if max_threads == 0 || max_threads > 8 {
         return Err(ParseError("--max-threads must be 1..=8".into()));
+    }
+    if jobs == 0 {
+        return Err(ParseError("--jobs must be at least 1".into()));
     }
     let policies: Vec<PolicyKind> = match args.get("policies") {
         None => PolicyKind::FIGURE3.to_vec(),
@@ -171,6 +160,30 @@ pub fn sweep(args: &Args) -> Result<(), ParseError> {
             .map(parse_policy)
             .collect::<Result<_, _>>()?,
     };
+
+    // Declare the whole grid up front and fan it out across `jobs` OS
+    // threads; the printed table then assembles from cache in row order
+    // (bit-identical to a serial sweep for any --jobs value).
+    let exec = CellExecutor::new(HarnessConfig {
+        seeds: 1,
+        scale: SWEEP_SCALE,
+        jobs,
+    });
+    let mut plan = Plan::new();
+    for threads in 1..=max_threads {
+        for &policy in &policies {
+            plan.add_one(
+                Cell {
+                    benchmark,
+                    policy,
+                    threads,
+                },
+                seed,
+                SWEEP_SCALE,
+            );
+        }
+    }
+    exec.execute(&plan);
 
     println!("{} — speedup over sequential (seed {seed})", benchmark.name());
     print!("{:>8}", "threads");
@@ -181,14 +194,14 @@ pub fn sweep(args: &Args) -> Result<(), ParseError> {
     for threads in 1..=max_threads {
         print!("{threads:>8}");
         for &policy in &policies {
-            let m = run_once(
+            let m = exec.metrics_at(
                 Cell {
                     benchmark,
                     policy,
                     threads,
                 },
                 seed,
-                0.5,
+                SWEEP_SCALE,
             );
             print!("{:>12.3}", m.speedup());
         }
@@ -211,10 +224,12 @@ pub fn inspect(args: &Args) -> Result<(), ParseError> {
     let mut workload = benchmark.instantiate(threads, txs);
     let blocks = workload.num_blocks();
     let mut sched = Seer::new(SeerConfig::full(), threads, blocks);
+    // Same --seed semantics as `seer run`: a harness seed, derived into a
+    // driver seed by the one shared derivation.
     let m = run(
         &mut workload,
         &mut sched,
-        &DriverConfig::paper_machine(threads, seed),
+        &DriverConfig::paper_machine(threads, seer_harness::sim_seed(seed)),
     );
     sched.force_update();
 
@@ -276,6 +291,19 @@ mod tests {
     }
 
     #[test]
+    fn cli_names_every_policy_variant() {
+        // The Figure 5 cumulative variants included — `seer run`/`sweep`
+        // can reproduce every cell of the evaluation.
+        for p in PolicyKind::ALL {
+            assert_eq!(parse_policy(p.name()).unwrap(), p, "{}", p.name());
+        }
+        assert_eq!(
+            parse_policy("seer-plus-tx-locks").unwrap(),
+            PolicyKind::SeerPlusTxLocks
+        );
+    }
+
+    #[test]
     fn run_command_executes() {
         let a = args(&["run", "--benchmark", "ssca2", "--threads", "2", "--txs", "40"]);
         run_one(&a).expect("run should succeed");
@@ -303,6 +331,24 @@ mod tests {
             "2",
         ]);
         sweep(&a).expect("sweep should succeed");
+    }
+
+    #[test]
+    fn sweep_command_accepts_jobs() {
+        let a = args(&[
+            "sweep",
+            "--benchmark",
+            "hashmap-low",
+            "--policies",
+            "rtm,seer-plus-tx-locks",
+            "--max-threads",
+            "2",
+            "--jobs",
+            "2",
+        ]);
+        sweep(&a).expect("parallel sweep should succeed");
+        let a = args(&["sweep", "--jobs", "0"]);
+        assert!(sweep(&a).is_err());
     }
 
     #[test]

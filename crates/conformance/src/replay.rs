@@ -10,6 +10,10 @@
 //! sessions, so an accidental change to event ordering — a reordered
 //! `push`, a different tie-break, an extra RNG draw — fails the suite
 //! instead of silently shifting every figure.
+//!
+//! Cells are driver-seeded through [`seer_harness::sim_seed`] — the same
+//! derivation the harness executor, benches and CLI use — so the fixtures
+//! pin the whole stack's seeding, not a conformance-local copy of it.
 
 use seer_harness::{run_once, Cell};
 use seer_runtime::RunMetrics;

@@ -2,13 +2,19 @@
 //! of Seer with only core locks enabled, relative to profile-only Seer.
 //! The paper reports +9% at 6 threads and +22% at 8 threads.
 
-use seer_harness::{core_locks_only, env_config, maybe_write_json};
+use seer_harness::{core_locks_only, env_config, maybe_write_json, CellExecutor};
 
 fn main() {
-    let cfg = env_config();
-    eprintln!("ablation_core_locks: seeds={} scale={}", cfg.seeds, cfg.scale);
-    let panel = core_locks_only(&cfg, &[2, 4, 6, 8]);
+    let exec = CellExecutor::new(env_config());
+    let cfg = exec.config();
+    eprintln!("ablation_core_locks: seeds={} scale={} jobs={}", cfg.seeds, cfg.scale, cfg.jobs);
+    let panel = core_locks_only(&exec, &[2, 4, 6, 8]);
     print!("{}", panel.render());
+    eprintln!(
+        "ablation_core_locks: {} cells simulated, {} cache hits",
+        exec.misses(),
+        exec.hits()
+    );
     if maybe_write_json(&panel).expect("writing JSON report") {
         eprintln!("ablation_core_locks: JSON written to $SEER_REPORT_JSON");
     }

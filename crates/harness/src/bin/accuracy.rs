@@ -5,14 +5,12 @@
 //! serialization pairs against that ground truth (pairs responsible for
 //! at least 5% of a run's kills), per benchmark at 8 threads.
 
-use seer_harness::{inference_accuracy, maybe_write_json};
+use seer_harness::{env_config, inference_accuracy, maybe_write_json};
 
 fn main() {
-    let scale = std::env::var("SEER_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0);
-    let results = inference_accuracy(8, scale, 0.05);
+    let cfg = env_config();
+    eprintln!("accuracy: scale={} jobs={}", cfg.scale, cfg.jobs);
+    let results = inference_accuracy(8, cfg.scale, 0.05);
     println!("{:<16}{:>10}{:>10}{:>10}{:>8}", "benchmark", "precision", "recall", "inferred", "truth");
     for r in &results {
         println!(

@@ -6,11 +6,12 @@
 //! aggressive" monitoring rates exist because STAMP runs are short — this
 //! quantifies how much of a run the inference actually needs.
 
-use seer_harness::{convergence, maybe_write_json};
+use seer_harness::{convergence, env_config, maybe_write_json};
 
 fn main() {
-    let scale = std::env::var("SEER_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
-    let results = convergence(8, scale);
+    let cfg = env_config();
+    eprintln!("convergence: scale={} jobs={}", cfg.scale, cfg.jobs);
+    let results = convergence(8, cfg.scale);
     println!(
         "{:<16}{:>16}{:>14}{:>12}{:>10}",
         "benchmark", "converged@cycle", "makespan", "fraction", "updates"

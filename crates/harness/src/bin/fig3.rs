@@ -1,16 +1,21 @@
 //! Regenerates Figure 3: speedup of HLE/RTM/SCM/Seer over sequential
 //! execution, per STAMP benchmark (panels a-h) and geometric mean (i).
 
-use seer_harness::{env_config, figure3, maybe_write_json, THREADS_FULL};
+use seer_harness::{env_config, figure3, maybe_write_json, CellExecutor, THREADS_FULL};
 
 fn main() {
-    let cfg = env_config();
-    eprintln!("fig3: seeds={} scale={} (set SEER_SEEDS / SEER_SCALE to adjust)", cfg.seeds, cfg.scale);
-    let panels = figure3(&cfg, &THREADS_FULL);
+    let exec = CellExecutor::new(env_config());
+    let cfg = exec.config();
+    eprintln!(
+        "fig3: seeds={} scale={} jobs={} (set SEER_SEEDS / SEER_SCALE / SEER_JOBS to adjust)",
+        cfg.seeds, cfg.scale, cfg.jobs
+    );
+    let panels = figure3(&exec, &THREADS_FULL);
     for p in &panels {
         print!("{}", p.render());
         println!();
     }
+    eprintln!("fig3: {} cells simulated, {} cache hits", exec.misses(), exec.hits());
     if maybe_write_json(&panels).expect("writing JSON report") {
         eprintln!("fig3: JSON written to $SEER_REPORT_JSON");
     }

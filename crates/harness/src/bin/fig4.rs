@@ -1,16 +1,18 @@
 //! Regenerates Figure 4: the overhead of Seer's monitoring, inference and
 //! self-tuning with every lock acquisition disabled, relative to RTM.
 
-use seer_harness::{env_config, figure4, maybe_write_json, THREADS_FULL};
+use seer_harness::{env_config, figure4, maybe_write_json, CellExecutor, THREADS_FULL};
 
 fn main() {
-    let cfg = env_config();
-    eprintln!("fig4: seeds={} scale={}", cfg.seeds, cfg.scale);
-    let panel = figure4(&cfg, &THREADS_FULL);
+    let exec = CellExecutor::new(env_config());
+    let cfg = exec.config();
+    eprintln!("fig4: seeds={} scale={} jobs={}", cfg.seeds, cfg.scale, cfg.jobs);
+    let panel = figure4(&exec, &THREADS_FULL);
     print!("{}", panel.render());
     println!();
     println!("Values below 1.0 are pure instrumentation overhead; the paper");
     println!("reports a mean slowdown below 5% and at most 8%.");
+    eprintln!("fig4: {} cells simulated, {} cache hits", exec.misses(), exec.hits());
     if maybe_write_json(&panel).expect("writing JSON report") {
         eprintln!("fig4: JSON written to $SEER_REPORT_JSON");
     }

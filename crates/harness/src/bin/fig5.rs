@@ -2,16 +2,18 @@
 //! (tx locks, core locks, HTM lock acquisition, hill climbing), shown as
 //! speedup relative to the profile-only variant.
 
-use seer_harness::{env_config, figure5, maybe_write_json, THREADS_TABLE};
+use seer_harness::{env_config, figure5, maybe_write_json, CellExecutor, THREADS_TABLE};
 
 fn main() {
-    let cfg = env_config();
-    eprintln!("fig5: seeds={} scale={}", cfg.seeds, cfg.scale);
-    let panels = figure5(&cfg, &THREADS_TABLE);
+    let exec = CellExecutor::new(env_config());
+    let cfg = exec.config();
+    eprintln!("fig5: seeds={} scale={} jobs={}", cfg.seeds, cfg.scale, cfg.jobs);
+    let panels = figure5(&exec, &THREADS_TABLE);
     for p in &panels {
         print!("{}", p.render());
         println!();
     }
+    eprintln!("fig5: {} cells simulated, {} cache hits", exec.misses(), exec.hits());
     if maybe_write_json(&panels).expect("writing JSON report") {
         eprintln!("fig5: JSON written to $SEER_REPORT_JSON");
     }

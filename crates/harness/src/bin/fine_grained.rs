@@ -3,12 +3,12 @@
 //! `seer_stamp::RefinedModel`. Prints plain-vs-refined Seer speedups and
 //! the size of the inferred conflict relation at 8 threads.
 
-use seer_harness::{fine_grained, maybe_write_json};
+use seer_harness::{env_config, fine_grained, maybe_write_json};
 
 fn main() {
-    let scale = std::env::var("SEER_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
-    let seeds = std::env::var("SEER_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
-    let results = fine_grained(8, scale, seeds);
+    let cfg = env_config();
+    eprintln!("fine_grained: seeds={} scale={} jobs={}", cfg.seeds, cfg.scale, cfg.jobs);
+    let results = fine_grained(8, cfg.scale, cfg.seeds);
     println!(
         "{:<16}{:>10}{:>10}{:>14}{:>15}",
         "benchmark", "plain", "refined", "plain pairs", "refined pairs"

@@ -2,12 +2,13 @@
 //! scheduler at 2/4/6/8 threads, averaged across STAMP, plus the paper's
 //! §5.2 fine-granularity statistic for Seer's transaction locks.
 
-use seer_harness::{env_config, maybe_write_json, table3, THREADS_TABLE};
+use seer_harness::{env_config, maybe_write_json, table3, CellExecutor, THREADS_TABLE};
 
 fn main() {
-    let cfg = env_config();
-    eprintln!("table3: seeds={} scale={}", cfg.seeds, cfg.scale);
-    let (tables, lock_fraction) = table3(&cfg, &THREADS_TABLE);
+    let exec = CellExecutor::new(env_config());
+    let cfg = exec.config();
+    eprintln!("table3: seeds={} scale={} jobs={}", cfg.seeds, cfg.scale, cfg.jobs);
+    let (tables, lock_fraction) = table3(&exec, &THREADS_TABLE);
     for t in &tables {
         print!("{}", t.render());
         println!();
@@ -20,6 +21,7 @@ fn main() {
             f * 100.0
         );
     }
+    eprintln!("table3: {} cells simulated, {} cache hits", exec.misses(), exec.hits());
     if maybe_write_json(&tables).expect("writing JSON report") {
         eprintln!("table3: JSON written to $SEER_REPORT_JSON");
     }

@@ -1,0 +1,407 @@
+//! Declarative experiment plans and the parallel, memoizing cell executor.
+//!
+//! The paper's evaluation (Figs. 3–5, Table 3, the §5.3 ablations) is a
+//! grid of *independent, deterministic* simulation cells, and several
+//! artefacts consume overlapping subsets of that grid (Table 3 re-reads
+//! every Figure 3 cell; Figure 4 and Figure 5 share the profile-only
+//! baseline runs). Instead of each experiment calling the runner inline —
+//! re-simulating shared cells and pinning everything to one core — an
+//! experiment now *declares* its grid as a [`Plan`] (a deduplicated set of
+//! `Cell × seed` work items) and hands it to a [`CellExecutor`], which
+//!
+//! 1. drops items whose results are already in its [`CellCache`]
+//!    (memoized on `(benchmark, policy, threads, seed, scale)`), and
+//! 2. fans the remainder out across OS threads ([`parallel_map`], built on
+//!    `std::thread::scope` — no dependencies, per the offline policy).
+//!
+//! Every cell's discrete-event run is a pure function of
+//! `(cell, seed, scale)` — seeded via [`sim_seed`], sharing no state with
+//! any other cell — so parallel execution is *bit-identical* to serial:
+//! results land in the cache keyed by their coordinates, and assembly
+//! order is dictated by the experiment code, never by thread completion
+//! order. The conformance replay fixtures and the executor equivalence
+//! test (`crates/harness/tests/executor.rs`) pin this.
+//!
+//! The cache exposes [`CellExecutor::hits`]/[`CellExecutor::misses`]
+//! counters, where a *miss* is an actual simulation performed. "Each
+//! unique cell is simulated exactly once per process" is therefore a
+//! testable claim — see `memoization_accounting` in the executor tests —
+//! not an aspiration.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use seer_runtime::RunMetrics;
+
+use crate::runner::{run_once, Cell, CellResult, HarnessConfig};
+
+/// The memoization key: every coordinate a cell's metrics depend on.
+///
+/// `scale` is carried as its IEEE-754 bit pattern so the key is `Eq + Hash`
+/// without tolerance games; two scales memoize together exactly when they
+/// are the same `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellKey {
+    /// Workload model.
+    pub benchmark: seer_stamp::Benchmark,
+    /// Scheduler variant.
+    pub policy: crate::policy::PolicyKind,
+    /// Simulated threads.
+    pub threads: usize,
+    /// Harness seed (the driver seed is derived via [`sim_seed`]).
+    pub seed: u64,
+    /// Workload scale factor, as raw bits.
+    scale_bits: u64,
+}
+
+impl CellKey {
+    /// Builds the key for one `(cell, seed, scale)` work item.
+    pub fn new(cell: Cell, seed: u64, scale: f64) -> Self {
+        Self {
+            benchmark: cell.benchmark,
+            policy: cell.policy,
+            threads: cell.threads,
+            seed,
+            scale_bits: scale.to_bits(),
+        }
+    }
+
+    /// The cell coordinates (without seed/scale).
+    pub fn cell(&self) -> Cell {
+        Cell {
+            benchmark: self.benchmark,
+            policy: self.policy,
+            threads: self.threads,
+        }
+    }
+
+    /// The workload scale factor.
+    pub fn scale(&self) -> f64 {
+        f64::from_bits(self.scale_bits)
+    }
+}
+
+/// A declarative, deduplicated set of `Cell × seed` work items.
+///
+/// Experiments build a `Plan` up front (usually via [`Plan::add_grid`]),
+/// then hand it to [`CellExecutor::execute`]. Duplicate insertions are
+/// dropped at build time, so overlapping grids (e.g. Table 3 re-listing
+/// every Figure 3 cell) cost nothing even before the cache is consulted.
+#[derive(Debug, Default, Clone)]
+pub struct Plan {
+    items: Vec<CellKey>,
+    seen: HashSet<CellKey>,
+}
+
+impl Plan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one `(cell, seed)` item at an explicit scale. Returns `true`
+    /// if the item was new.
+    pub fn add_one(&mut self, cell: Cell, seed: u64, scale: f64) -> bool {
+        let key = CellKey::new(cell, seed, scale);
+        let fresh = self.seen.insert(key);
+        if fresh {
+            self.items.push(key);
+        }
+        fresh
+    }
+
+    /// Adds `cell` under `cfg`: one item per seed `0..cfg.seeds` at
+    /// `cfg.scale` (the expansion [`crate::runner::run_cell`] averages
+    /// over).
+    pub fn add(&mut self, cell: Cell, cfg: &HarnessConfig) {
+        for seed in 0..cfg.seeds {
+            self.add_one(cell, seed, cfg.scale);
+        }
+    }
+
+    /// Adds the full `benchmarks × policies × threads` grid under `cfg`.
+    pub fn add_grid(
+        &mut self,
+        benchmarks: &[seer_stamp::Benchmark],
+        policies: &[crate::policy::PolicyKind],
+        threads: &[usize],
+        cfg: &HarnessConfig,
+    ) {
+        for &benchmark in benchmarks {
+            for &policy in policies {
+                for &t in threads {
+                    self.add(
+                        Cell {
+                            benchmark,
+                            policy,
+                            threads: t,
+                        },
+                        cfg,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Number of unique work items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the plan holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The unique items, in insertion order.
+    pub fn items(&self) -> &[CellKey] {
+        &self.items
+    }
+}
+
+/// Applies `f` to every item of `items` on up to `jobs` OS threads,
+/// returning results in input order (never completion order).
+///
+/// Work is handed out through a shared atomic cursor, so threads stay busy
+/// regardless of per-item cost skew. `jobs <= 1` (or a single item) runs
+/// the plain serial loop — byte-for-byte the `--jobs 1` path, which the
+/// equivalence tests compare the parallel path against. A panic on any
+/// worker propagates out of the enclosing `std::thread::scope`.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// The parallel, memoizing executor behind every figure, table, bench and
+/// sweep: the workspace's one way to turn a [`Plan`] into metrics.
+///
+/// Results are cached per [`CellKey`] for the lifetime of the executor, so
+/// any number of experiments sharing one executor simulate each unique
+/// cell exactly once. The executor is `Sync`; its workers only ever write
+/// distinct keys, and readers assemble results by key, which is why
+/// `--jobs N` is bit-identical to `--jobs 1` for every N.
+pub struct CellExecutor {
+    cfg: HarnessConfig,
+    cache: Mutex<HashMap<CellKey, RunMetrics>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CellExecutor {
+    /// An executor with an empty cache over `cfg` (which fixes the default
+    /// seeds/scale for [`Plan::add`] expansion and `jobs` for fan-out).
+    pub fn new(cfg: HarnessConfig) -> Self {
+        Self {
+            cfg,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The executor's harness configuration.
+    pub fn config(&self) -> &HarnessConfig {
+        &self.cfg
+    }
+
+    /// Simulates every not-yet-cached item of `plan`, fanning out across
+    /// `cfg.jobs` OS threads. Safe to call repeatedly and with
+    /// overlapping plans; already-cached items are counted as hits and
+    /// skipped.
+    pub fn execute(&self, plan: &Plan) {
+        let todo: Vec<CellKey> = {
+            let cache = self.cache.lock().expect("cell cache poisoned");
+            plan.items()
+                .iter()
+                .filter(|key| !cache.contains_key(key))
+                .copied()
+                .collect()
+        };
+        self.hits
+            .fetch_add((plan.len() - todo.len()) as u64, Ordering::Relaxed);
+        if todo.is_empty() {
+            return;
+        }
+        self.misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
+        let results = parallel_map(&todo, self.cfg.jobs, |key| {
+            run_once(key.cell(), key.seed, key.scale())
+        });
+        let mut cache = self.cache.lock().expect("cell cache poisoned");
+        for (key, metrics) in todo.into_iter().zip(results) {
+            cache.insert(key, metrics);
+        }
+    }
+
+    /// Raw metrics of one `(cell, seed)` run at an explicit scale,
+    /// simulating on a cache miss (serially — batch work belongs in a
+    /// [`Plan`]).
+    pub fn metrics_at(&self, cell: Cell, seed: u64, scale: f64) -> RunMetrics {
+        let key = CellKey::new(cell, seed, scale);
+        if let Some(m) = self
+            .cache
+            .lock()
+            .expect("cell cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return m.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let metrics = run_once(cell, seed, scale);
+        self.cache
+            .lock()
+            .expect("cell cache poisoned")
+            .insert(key, metrics.clone());
+        metrics
+    }
+
+    /// Raw metrics of one `(cell, seed)` run at the executor's scale.
+    pub fn metrics(&self, cell: Cell, seed: u64) -> RunMetrics {
+        self.metrics_at(cell, seed, self.cfg.scale)
+    }
+
+    /// Seed-averaged measurements of `cell` over the executor's
+    /// `cfg.seeds` at `cfg.scale` — the memoized equivalent of
+    /// [`crate::runner::run_cell`].
+    pub fn cell(&self, cell: Cell) -> CellResult {
+        let runs: Vec<RunMetrics> = (0..self.cfg.seeds)
+            .map(|seed| self.metrics(cell, seed))
+            .collect();
+        CellResult::average(&runs)
+    }
+
+    /// Cache reads that were served without simulating.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Simulations actually performed (the duplicate-work counter: after
+    /// any sequence of experiments this equals the number of unique
+    /// `(cell, seed, scale)` items they collectively declared).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for CellExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellExecutor")
+            .field("cfg", &self.cfg)
+            .field("cached", &self.cache.lock().map(|c| c.len()).unwrap_or(0))
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use seer_stamp::Benchmark;
+
+    fn cell(threads: usize) -> Cell {
+        Cell {
+            benchmark: Benchmark::Ssca2,
+            policy: PolicyKind::Rtm,
+            threads,
+        }
+    }
+
+    #[test]
+    fn plan_deduplicates_items() {
+        let cfg = HarnessConfig {
+            seeds: 2,
+            scale: 0.1,
+            jobs: 1,
+        };
+        let mut plan = Plan::new();
+        plan.add(cell(2), &cfg);
+        plan.add(cell(2), &cfg); // exact duplicate
+        plan.add(cell(4), &cfg);
+        assert_eq!(plan.len(), 4); // 2 cells × 2 seeds
+        assert!(plan.add_one(cell(2), 7, 0.1));
+        assert!(!plan.add_one(cell(2), 7, 0.1));
+        assert_eq!(plan.len(), 5);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let serial = parallel_map(&items, 1, |&x| x * x);
+        let parallel = parallel_map(&items, 4, |&x| x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel[5], 25);
+    }
+
+    #[test]
+    fn executor_counts_hits_and_misses() {
+        let cfg = HarnessConfig {
+            seeds: 2,
+            scale: 0.1,
+            jobs: 2,
+        };
+        let exec = CellExecutor::new(cfg);
+        let mut plan = Plan::new();
+        plan.add(cell(2), &cfg);
+        exec.execute(&plan);
+        assert_eq!(exec.misses(), 2);
+        assert_eq!(exec.hits(), 0);
+        // Re-executing the same plan simulates nothing.
+        exec.execute(&plan);
+        assert_eq!(exec.misses(), 2);
+        assert_eq!(exec.hits(), 2);
+        // Assembly over the cached seeds is all hits.
+        let r = exec.cell(cell(2));
+        assert!(r.speedup > 0.0);
+        assert_eq!(exec.misses(), 2);
+        assert_eq!(exec.hits(), 4);
+    }
+
+    #[test]
+    fn cached_metrics_equal_a_fresh_run() {
+        let cfg = HarnessConfig {
+            seeds: 1,
+            scale: 0.1,
+            jobs: 2,
+        };
+        let exec = CellExecutor::new(cfg);
+        let mut plan = Plan::new();
+        plan.add(cell(4), &cfg);
+        exec.execute(&plan);
+        let cached = exec.metrics(cell(4), 0);
+        let fresh = run_once(cell(4), 0, 0.1);
+        assert_eq!(cached.trace_hash, fresh.trace_hash);
+        assert_eq!(cached.makespan, fresh.makespan);
+        assert_eq!(cached.commits, fresh.commits);
+    }
+}

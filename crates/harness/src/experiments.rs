@@ -1,25 +1,43 @@
 //! The paper's experiments as reusable functions, one per table/figure.
 //!
-//! Each function sweeps the relevant configurations through the runner and
-//! returns structured results; the `src/bin/*` binaries render them. Tests
-//! and the Criterion benches call the same functions at reduced scale, so
-//! every number in `EXPERIMENTS.md` is regenerable from exactly one place.
+//! Each function *declares* its grid as a [`Plan`], hands it to the shared
+//! [`CellExecutor`] (which deduplicates, memoizes, and fans work out across
+//! `cfg.jobs` OS threads), then assembles the figure from cached results;
+//! the `src/bin/*` binaries render them. Tests and the Criterion benches
+//! call the same functions at reduced scale, so every number in
+//! `EXPERIMENTS.md` is regenerable from exactly one place — and figures
+//! sharing cells (Table 3 re-reads every Figure 3 cell; Figures 4/5 share
+//! the profile-only baselines) simulate each unique cell exactly once per
+//! executor.
 
 use seer_stamp::Benchmark;
 
+use crate::exec::{parallel_map, CellExecutor, Plan};
 use crate::json::{Json, ToJson};
 use crate::policy::PolicyKind;
 use crate::report::{Panel, PercentTable, Series};
-use crate::runner::{geometric_mean, run_cell, run_once, Cell, HarnessConfig};
+use crate::runner::{default_jobs, geometric_mean, run_once, Cell};
 
 /// Thread counts swept by Figure 3 / Figure 4.
 pub const THREADS_FULL: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
 /// Thread counts reported by Table 3 / Figure 5.
 pub const THREADS_TABLE: [usize; 4] = [2, 4, 6, 8];
 
+fn cell(benchmark: Benchmark, policy: PolicyKind, threads: usize) -> Cell {
+    Cell {
+        benchmark,
+        policy,
+        threads,
+    }
+}
+
 /// Figure 3: speedup of HLE/RTM/SCM/Seer over sequential, per benchmark
 /// (panels a–h) plus the geometric-mean panel (i).
-pub fn figure3(cfg: &HarnessConfig, threads: &[usize]) -> Vec<Panel> {
+pub fn figure3(exec: &CellExecutor, threads: &[usize]) -> Vec<Panel> {
+    let mut plan = Plan::new();
+    plan.add_grid(&Benchmark::STAMP, &PolicyKind::FIGURE3, threads, exec.config());
+    exec.execute(&plan);
+
     let mut panels = Vec::new();
     // Per-policy, per-thread speedups across benchmarks, for the geo-mean.
     let mut all: Vec<Vec<Vec<f64>>> =
@@ -29,14 +47,7 @@ pub fn figure3(cfg: &HarnessConfig, threads: &[usize]) -> Vec<Panel> {
         for (pi, &policy) in PolicyKind::FIGURE3.iter().enumerate() {
             let mut points = Vec::new();
             for (ti, &t) in threads.iter().enumerate() {
-                let r = run_cell(
-                    Cell {
-                        benchmark,
-                        policy,
-                        threads: t,
-                    },
-                    cfg,
-                );
+                let r = exec.cell(cell(benchmark, policy, t));
                 points.push((t, r.speedup));
                 all[pi][ti].push(r.speedup);
             }
@@ -73,8 +84,12 @@ pub fn figure3(cfg: &HarnessConfig, threads: &[usize]) -> Vec<Panel> {
 /// reported thread counts, averaged across the STAMP benchmarks. Returns
 /// one table per policy, plus (as the paper's §5.2 text reports) the mean
 /// per-run median fraction of transaction locks Seer acquires.
-pub fn table3(cfg: &HarnessConfig, threads: &[usize]) -> (Vec<PercentTable>, Option<f64>) {
+pub fn table3(exec: &CellExecutor, threads: &[usize]) -> (Vec<PercentTable>, Option<f64>) {
     use seer_runtime::TxMode;
+    let mut plan = Plan::new();
+    plan.add_grid(&Benchmark::STAMP, &PolicyKind::FIGURE3, threads, exec.config());
+    exec.execute(&plan);
+
     let mut tables = Vec::new();
     let mut seer_lock_fractions = Vec::new();
     for &policy in &PolicyKind::FIGURE3 {
@@ -85,14 +100,7 @@ pub fn table3(cfg: &HarnessConfig, threads: &[usize]) -> (Vec<PercentTable>, Opt
         for &t in threads {
             let mut mode_acc = [0.0f64; 6];
             for &benchmark in &Benchmark::STAMP {
-                let r = run_cell(
-                    Cell {
-                        benchmark,
-                        policy,
-                        threads: t,
-                    },
-                    cfg,
-                );
+                let r = exec.cell(cell(benchmark, policy, t));
                 for (acc, f) in mode_acc.iter_mut().zip(r.mode_fractions) {
                     *acc += f;
                 }
@@ -129,48 +137,31 @@ pub fn table3(cfg: &HarnessConfig, threads: &[usize]) -> (Vec<PercentTable>, Opt
 /// per thread count — the cost of monitoring + inference + self-tuning
 /// without any scheduling benefit. Includes the low-contention hash map as
 /// an extra series (§5.3 reports ≤4% overhead there).
-pub fn figure4(cfg: &HarnessConfig, threads: &[usize]) -> Panel {
+pub fn figure4(exec: &CellExecutor, threads: &[usize]) -> Panel {
+    let mut benchmarks = Benchmark::STAMP.to_vec();
+    benchmarks.push(Benchmark::HashmapLow);
+    let mut plan = Plan::new();
+    plan.add_grid(
+        &benchmarks,
+        &[PolicyKind::Rtm, PolicyKind::SeerProfileOnly],
+        threads,
+        exec.config(),
+    );
+    exec.execute(&plan);
+
     let mut stamp_points = Vec::new();
     let mut hashmap_points = Vec::new();
     for &t in threads {
         let mut ratios = Vec::new();
         for &benchmark in &Benchmark::STAMP {
-            let rtm = run_cell(
-                Cell {
-                    benchmark,
-                    policy: PolicyKind::Rtm,
-                    threads: t,
-                },
-                cfg,
-            );
-            let prof = run_cell(
-                Cell {
-                    benchmark,
-                    policy: PolicyKind::SeerProfileOnly,
-                    threads: t,
-                },
-                cfg,
-            );
+            let rtm = exec.cell(cell(benchmark, PolicyKind::Rtm, t));
+            let prof = exec.cell(cell(benchmark, PolicyKind::SeerProfileOnly, t));
             ratios.push(prof.speedup / rtm.speedup);
         }
         stamp_points.push((t, geometric_mean(&ratios)));
 
-        let rtm = run_cell(
-            Cell {
-                benchmark: Benchmark::HashmapLow,
-                policy: PolicyKind::Rtm,
-                threads: t,
-            },
-            cfg,
-        );
-        let prof = run_cell(
-            Cell {
-                benchmark: Benchmark::HashmapLow,
-                policy: PolicyKind::SeerProfileOnly,
-                threads: t,
-            },
-            cfg,
-        );
+        let rtm = exec.cell(cell(Benchmark::HashmapLow, PolicyKind::Rtm, t));
+        let prof = exec.cell(cell(Benchmark::HashmapLow, PolicyKind::SeerProfileOnly, t));
         hashmap_points.push((t, prof.speedup / rtm.speedup));
     }
     Panel {
@@ -191,35 +182,24 @@ pub fn figure4(cfg: &HarnessConfig, threads: &[usize]) -> Panel {
 /// Figure 5: cumulative contribution of each Seer mechanism — speedup of
 /// each variant relative to the profile-only baseline, per benchmark and
 /// thread count, plus the geometric-mean panel.
-pub fn figure5(cfg: &HarnessConfig, threads: &[usize]) -> Vec<Panel> {
+pub fn figure5(exec: &CellExecutor, threads: &[usize]) -> Vec<Panel> {
+    let mut plan = Plan::new();
+    plan.add_grid(&Benchmark::STAMP, &PolicyKind::FIGURE5, threads, exec.config());
+    exec.execute(&plan);
+
     let mut panels = Vec::new();
     let variants = &PolicyKind::FIGURE5[1..]; // baseline is the divisor
     let mut all: Vec<Vec<Vec<f64>>> = vec![vec![Vec::new(); threads.len()]; variants.len()];
     for &benchmark in &Benchmark::STAMP {
-        let mut base = Vec::new();
-        for &t in threads {
-            let r = run_cell(
-                Cell {
-                    benchmark,
-                    policy: PolicyKind::SeerProfileOnly,
-                    threads: t,
-                },
-                cfg,
-            );
-            base.push(r.speedup);
-        }
+        let base: Vec<f64> = threads
+            .iter()
+            .map(|&t| exec.cell(cell(benchmark, PolicyKind::SeerProfileOnly, t)).speedup)
+            .collect();
         let mut series = Vec::new();
         for (vi, &policy) in variants.iter().enumerate() {
             let mut points = Vec::new();
             for (ti, &t) in threads.iter().enumerate() {
-                let r = run_cell(
-                    Cell {
-                        benchmark,
-                        policy,
-                        threads: t,
-                    },
-                    cfg,
-                );
+                let r = exec.cell(cell(benchmark, policy, t));
                 let rel = r.speedup / base[ti];
                 points.push((t, rel));
                 all[vi][ti].push(rel);
@@ -256,27 +236,22 @@ pub fn figure5(cfg: &HarnessConfig, threads: &[usize]) -> Vec<Panel> {
 /// §5.3 core-locks-only ablation: geometric-mean speedup of
 /// core-locks-only Seer relative to profile-only Seer (the paper reports
 /// +9% at 6 threads and +22% at 8).
-pub fn core_locks_only(cfg: &HarnessConfig, threads: &[usize]) -> Panel {
+pub fn core_locks_only(exec: &CellExecutor, threads: &[usize]) -> Panel {
+    let mut plan = Plan::new();
+    plan.add_grid(
+        &Benchmark::STAMP,
+        &[PolicyKind::SeerProfileOnly, PolicyKind::SeerCoreLocksOnly],
+        threads,
+        exec.config(),
+    );
+    exec.execute(&plan);
+
     let mut points = Vec::new();
     for &t in threads {
         let mut ratios = Vec::new();
         for &benchmark in &Benchmark::STAMP {
-            let base = run_cell(
-                Cell {
-                    benchmark,
-                    policy: PolicyKind::SeerProfileOnly,
-                    threads: t,
-                },
-                cfg,
-            );
-            let core = run_cell(
-                Cell {
-                    benchmark,
-                    policy: PolicyKind::SeerCoreLocksOnly,
-                    threads: t,
-                },
-                cfg,
-            );
+            let base = exec.cell(cell(benchmark, PolicyKind::SeerProfileOnly, t));
+            let core = exec.cell(cell(benchmark, PolicyKind::SeerCoreLocksOnly, t));
             ratios.push(core.speedup / base.speedup);
         }
         points.push((t, geometric_mean(&ratios)));
@@ -321,15 +296,15 @@ impl ToJson for AccuracyResult {
 /// Extra experiment (not in the paper, enabled by the simulator's oracle):
 /// score Seer's inferred conflict relation against the ground-truth kill
 /// matrix. A true pair is one responsible for ≥ `significance` of the
-/// victim block's recorded kills.
+/// victim block's recorded kills. Benchmarks fan out across `SEER_JOBS`
+/// threads (these runs need post-run scheduler state, so they bypass the
+/// cell cache).
 pub fn inference_accuracy(threads: usize, scale: f64, significance: f64) -> Vec<AccuracyResult> {
     use seer::{Seer, SeerConfig};
     use seer_runtime::{run, DriverConfig, Workload};
 
-    let mut out = Vec::new();
-    for &benchmark in &Benchmark::STAMP {
-        let txs = ((benchmark.default_txs() as f64 * scale) as usize).max(20);
-        let mut workload = benchmark.instantiate(threads, txs);
+    parallel_map(&Benchmark::STAMP, default_jobs(), |&benchmark| {
+        let mut workload = benchmark.instantiate_scaled(threads, scale);
         let blocks = workload.num_blocks();
         let mut sched = Seer::new(SeerConfig::full(), threads, blocks);
         let metrics = run(&mut workload, &mut sched, &DriverConfig::paper_machine(threads, 7));
@@ -342,7 +317,8 @@ pub fn inference_accuracy(threads: usize, scale: f64, significance: f64) -> Vec<
         let mut truth: Vec<(usize, usize)> = Vec::new();
         for v in 0..blocks {
             for k in v..blocks {
-                let kills = metrics.ground_truth.get(v, k) + if v == k { 0 } else { metrics.ground_truth.get(k, v) };
+                let kills = metrics.ground_truth.get(v, k)
+                    + if v == k { 0 } else { metrics.ground_truth.get(k, v) };
                 if kills >= min_kills {
                     truth.push((v, k));
                 }
@@ -367,15 +343,14 @@ pub fn inference_accuracy(threads: usize, scale: f64, significance: f64) -> Vec<
         } else {
             hits as f64 / truth.len() as f64
         };
-        out.push(AccuracyResult {
+        AccuracyResult {
             benchmark: benchmark.name().to_string(),
             precision,
             recall,
             inferred: inferred.len(),
             truth: truth.len(),
-        });
-    }
-    out
+        }
+    })
 }
 
 /// One row of the fine-grained (structure-refined) extension experiment.
@@ -407,16 +382,15 @@ impl ToJson for FineGrainedResult {
 
 /// Future-work extension experiment (paper §6): Seer with block-granular
 /// locks vs Seer with (block × data-structure)-granular locks, obtained by
-/// refining block ids with `seer_stamp::RefinedModel`.
+/// refining block ids with `seer_stamp::RefinedModel`. Benchmarks fan out
+/// across `SEER_JOBS` threads.
 pub fn fine_grained(threads: usize, scale: f64, seeds: u64) -> Vec<FineGrainedResult> {
     use seer::{Seer, SeerConfig};
     use seer_runtime::{run, DriverConfig, Workload};
     use seer_stamp::RefinedModel;
 
     const STRUCTURES: usize = 4;
-    let mut out = Vec::new();
-    for &benchmark in &Benchmark::STAMP {
-        let txs = ((benchmark.default_txs() as f64 * scale) as usize).max(20);
+    parallel_map(&Benchmark::STAMP, default_jobs(), |&benchmark| {
         let mut plain_speedup = 0.0;
         let mut refined_speedup = 0.0;
         let mut plain_pairs = 0usize;
@@ -424,29 +398,28 @@ pub fn fine_grained(threads: usize, scale: f64, seeds: u64) -> Vec<FineGrainedRe
         for seed in 0..seeds {
             let cfg = DriverConfig::paper_machine(threads, 0xF17E + seed * 4099);
 
-            let mut w = benchmark.instantiate(threads, txs);
+            let mut w = benchmark.instantiate_scaled(threads, scale);
             let blocks = w.num_blocks();
             let mut sched = Seer::new(SeerConfig::full(), threads, blocks);
             let m = run(&mut w, &mut sched, &cfg);
             plain_speedup += m.speedup() / seeds as f64;
             plain_pairs = plain_pairs.max(sched.inferred_pairs().len());
 
-            let mut w = RefinedModel::new(benchmark.instantiate(threads, txs), STRUCTURES);
+            let mut w = RefinedModel::new(benchmark.instantiate_scaled(threads, scale), STRUCTURES);
             let blocks = w.num_blocks();
             let mut sched = Seer::new(SeerConfig::full(), threads, blocks);
             let m = run(&mut w, &mut sched, &cfg);
             refined_speedup += m.speedup() / seeds as f64;
             refined_pairs = refined_pairs.max(sched.inferred_pairs().len());
         }
-        out.push(FineGrainedResult {
+        FineGrainedResult {
             benchmark: benchmark.name().to_string(),
             plain: plain_speedup,
             refined: refined_speedup,
             plain_pairs,
             refined_pairs,
-        });
-    }
-    out
+        }
+    })
 }
 
 /// Convergence of the probabilistic inference for one benchmark.
@@ -479,54 +452,45 @@ impl ToJson for ConvergenceResult {
 /// Extra experiment: how quickly does Seer's locking scheme converge?
 /// The paper motivates its "relatively aggressive monitoring/optimization
 /// rates" by STAMP's short runs (§5.3); this measures the resulting
-/// convergence point directly.
+/// convergence point directly. Benchmarks fan out across `SEER_JOBS`
+/// threads.
 pub fn convergence(threads: usize, scale: f64) -> Vec<ConvergenceResult> {
     use seer::{Seer, SeerConfig};
     use seer_runtime::{run, DriverConfig, Workload};
 
-    let mut out = Vec::new();
-    for &benchmark in &Benchmark::STAMP {
-        let txs = ((benchmark.default_txs() as f64 * scale) as usize).max(20);
-        let mut workload = benchmark.instantiate(threads, txs);
+    parallel_map(&Benchmark::STAMP, default_jobs(), |&benchmark| {
+        let mut workload = benchmark.instantiate_scaled(threads, scale);
         let blocks = workload.num_blocks();
         let mut sched = Seer::new(SeerConfig::full(), threads, blocks);
         let m = run(&mut workload, &mut sched, &DriverConfig::paper_machine(threads, 31));
         let converged_at = sched.converged_at();
-        out.push(ConvergenceResult {
+        ConvergenceResult {
             benchmark: benchmark.name().to_string(),
             converged_at,
             makespan: m.makespan,
-            converged_fraction: converged_at
-                .map(|t| t as f64 / m.makespan.max(1) as f64),
+            converged_fraction: converged_at.map(|t| t as f64 / m.makespan.max(1) as f64),
             updates: sched.counters().updates,
-        });
-    }
-    out
+        }
+    })
 }
 
-/// Quick single-cell speedup (used by benches and tests).
+/// Quick single-cell speedup at harness seed 0 (used by benches and
+/// tests).
 pub fn quick_speedup(benchmark: Benchmark, policy: PolicyKind, threads: usize, scale: f64) -> f64 {
-    run_once(
-        Cell {
-            benchmark,
-            policy,
-            threads,
-        },
-        0,
-        scale,
-    )
-    .speedup()
+    run_once(cell(benchmark, policy, threads), 0, scale).speedup()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::HarnessConfig;
 
-    fn tiny() -> HarnessConfig {
-        HarnessConfig {
+    fn tiny() -> CellExecutor {
+        CellExecutor::new(HarnessConfig {
             seeds: 1,
             scale: 0.08,
-        }
+            jobs: 2,
+        })
     }
 
     #[test]

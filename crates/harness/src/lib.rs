@@ -15,29 +15,43 @@
 //! | `fine_grained` | extra: the paper's future-work (block × structure) locks |
 //! | `convergence` | extra: when the inferred locking scheme stabilizes |
 //!
+//! Execution goes through one API (`DESIGN.md` §9): experiments declare
+//! their grid as a [`Plan`] and hand it to a [`CellExecutor`], which
+//! deduplicates, memoizes per `(benchmark, policy, threads, seed, scale)`,
+//! and fans uncached cells out across OS threads. Parallel execution is
+//! bit-identical to serial — every cell is an independent deterministic
+//! simulation — so `--jobs`/`SEER_JOBS` only changes wall-clock time.
+//!
 //! Environment knobs: `SEER_SEEDS` (seeds averaged per cell, default 3),
-//! `SEER_SCALE` (work scale factor, default 1.0), `SEER_REPORT_JSON`
-//! (write structured results to a JSON file as well).
+//! `SEER_SCALE` (work scale factor, default 1.0), `SEER_JOBS` (executor
+//! fan-out width, default 1 = serial), `SEER_REPORT_JSON` (write
+//! structured results to a JSON file as well).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod exec;
 pub mod experiments;
 pub mod json;
 pub mod policy;
 pub mod report;
 pub mod runner;
 
+pub use exec::{parallel_map, CellExecutor, CellKey, Plan};
 pub use experiments::{
     convergence, core_locks_only, figure3, figure4, figure5, fine_grained, inference_accuracy,
     table3, AccuracyResult, ConvergenceResult, FineGrainedResult, THREADS_FULL, THREADS_TABLE,
 };
 pub use json::{Json, ToJson};
-pub use policy::PolicyKind;
+pub use policy::{PolicyKind, UnknownPolicy};
 pub use report::{maybe_write_json, Panel, PercentTable, Series};
-pub use runner::{geometric_mean, run_cell, run_once, Cell, CellResult, HarnessConfig};
+pub use runner::{
+    default_jobs, default_seeds, geometric_mean, run_cell, run_once, sim_seed, Cell, CellResult,
+    HarnessConfig,
+};
 
-/// Reads the common environment configuration for the binaries.
+/// Reads the common environment configuration for the binaries
+/// (`SEER_SEEDS`, `SEER_SCALE`, `SEER_JOBS`).
 pub fn env_config() -> HarnessConfig {
     let mut cfg = HarnessConfig::default();
     if let Ok(scale) = std::env::var("SEER_SCALE") {

@@ -83,6 +83,41 @@ impl PolicyKind {
         }
     }
 
+    /// Stable CLI name; round-trips through [`FromStr`](std::str::FromStr)
+    /// for every variant in [`PolicyKind::ALL`].
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Hle => "hle",
+            PolicyKind::Rtm => "rtm",
+            PolicyKind::Scm => "scm",
+            PolicyKind::Ats => "ats",
+            PolicyKind::Seer => "seer",
+            PolicyKind::SeerProfileOnly => "seer-profile-only",
+            PolicyKind::SeerPlusTxLocks => "seer-plus-tx-locks",
+            PolicyKind::SeerPlusCoreLocks => "seer-plus-core-locks",
+            PolicyKind::SeerPlusHtmLocks => "seer-plus-htm-locks",
+            PolicyKind::SeerPlusHillClimbing => "seer-plus-hill-climbing",
+            PolicyKind::SeerCoreLocksOnly => "seer-core-locks-only",
+        }
+    }
+
+    /// One-line description for `seer list`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            PolicyKind::Hle => "hardware lock elision (no scheduling)",
+            PolicyKind::Rtm => "software retry + wait-on-fallback-lock",
+            PolicyKind::Scm => "software-assisted conflict management (aux lock)",
+            PolicyKind::Ats => "adaptive transaction scheduling (contention factor)",
+            PolicyKind::Seer => "full Seer (probabilistic scheduling)",
+            PolicyKind::SeerProfileOnly => "Seer monitoring without lock acquisition",
+            PolicyKind::SeerPlusTxLocks => "Figure 5 cumulative: + transaction locks",
+            PolicyKind::SeerPlusCoreLocks => "Figure 5 cumulative: + core locks",
+            PolicyKind::SeerPlusHtmLocks => "Figure 5 cumulative: + HTM multi-CAS locks",
+            PolicyKind::SeerPlusHillClimbing => "Figure 5 cumulative: + hill climbing (= full Seer)",
+            PolicyKind::SeerCoreLocksOnly => "Seer with only per-core locks (§5.3 ablation)",
+        }
+    }
+
     /// Instantiates the scheduler for a run with `threads` threads over a
     /// program with `blocks` atomic blocks.
     pub fn build(self, threads: usize, blocks: usize) -> Box<dyn Scheduler> {
@@ -114,6 +149,32 @@ impl PolicyKind {
     }
 }
 
+/// Error returned when a policy name does not match any
+/// [`PolicyKind::name`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPolicy(pub String);
+
+impl std::fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown policy {:?} (see `seer list`)", self.0)
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
+
+impl std::str::FromStr for PolicyKind {
+    type Err = UnknownPolicy;
+
+    /// Parses a [`PolicyKind::name`], case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        PolicyKind::ALL
+            .into_iter()
+            .find(|p| p.name() == lower)
+            .ok_or_else(|| UnknownPolicy(s.to_string()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,21 +187,30 @@ mod tests {
 
     #[test]
     fn all_policies_build() {
-        for p in [
-            PolicyKind::Hle,
-            PolicyKind::Rtm,
-            PolicyKind::Scm,
-            PolicyKind::Ats,
-            PolicyKind::Seer,
-            PolicyKind::SeerProfileOnly,
-            PolicyKind::SeerPlusTxLocks,
-            PolicyKind::SeerPlusCoreLocks,
-            PolicyKind::SeerPlusHtmLocks,
-            PolicyKind::SeerPlusHillClimbing,
-            PolicyKind::SeerCoreLocksOnly,
-        ] {
+        for p in PolicyKind::ALL {
             let s = p.build(8, 5);
             assert!(s.attempt_budget() > 0, "{} has no budget", p.label());
         }
+    }
+
+    #[test]
+    fn every_policy_name_round_trips() {
+        for p in PolicyKind::ALL {
+            assert_eq!(p.name().parse::<PolicyKind>().unwrap(), p, "{}", p.name());
+            // Case-insensitive, as the CLI has always accepted.
+            let upper = p.name().to_ascii_uppercase();
+            assert_eq!(upper.parse::<PolicyKind>().unwrap(), p);
+        }
+        assert!("nope".parse::<PolicyKind>().is_err());
+        let err = "Nope".parse::<PolicyKind>().unwrap_err();
+        assert_eq!(err.0, "Nope");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = PolicyKind::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PolicyKind::ALL.len());
     }
 }

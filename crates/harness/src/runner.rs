@@ -1,12 +1,14 @@
 //! Experiment runner: one configuration → seed-averaged measurements.
 
+use std::sync::Once;
+
 use seer_runtime::{run, DriverConfig, RunMetrics, TxMode, Workload};
 use seer_stamp::Benchmark;
 
 use crate::policy::PolicyKind;
 
 /// A single experiment cell: benchmark × policy × thread count.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Cell {
     /// Workload model.
     pub benchmark: Benchmark,
@@ -25,6 +27,9 @@ pub struct HarnessConfig {
     /// Scale factor on each benchmark's default transactions-per-thread
     /// (1.0 = the full default; smaller for quick benches).
     pub scale: f64,
+    /// OS threads the cell executor fans work out across (1 = serial;
+    /// results are bit-identical either way).
+    pub jobs: usize,
 }
 
 impl Default for HarnessConfig {
@@ -32,20 +37,58 @@ impl Default for HarnessConfig {
         Self {
             seeds: default_seeds(),
             scale: 1.0,
+            jobs: default_jobs(),
         }
     }
 }
 
-fn default_seeds() -> u64 {
-    std::env::var("SEER_SEEDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(3)
+/// Parses a positive integer from `env_name`, warning once per process on
+/// an invalid (unparsable or zero) value instead of silently falling back.
+fn positive_env(env_name: &str, default: u64, warned: &'static Once) -> u64 {
+    match std::env::var(env_name) {
+        Err(_) => default,
+        Ok(raw) => match raw.parse::<u64>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                warned.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring invalid {env_name}={raw:?} \
+                         (expected a positive integer); using default {default}"
+                    );
+                });
+                default
+            }
+        },
+    }
+}
+
+/// Seeds averaged per cell: `SEER_SEEDS`, default 3.
+pub fn default_seeds() -> u64 {
+    static WARNED: Once = Once::new();
+    positive_env("SEER_SEEDS", 3, &WARNED)
+}
+
+/// Executor fan-out width: `SEER_JOBS`, default 1 (serial).
+pub fn default_jobs() -> usize {
+    static WARNED: Once = Once::new();
+    positive_env("SEER_JOBS", 1, &WARNED) as usize
+}
+
+/// Derives the driver RNG seed for harness seed `seed`.
+///
+/// Every simulation the harness, benches, CLI and conformance replay
+/// matrix perform goes through this one function, so the committed golden
+/// trace hashes (`crates/conformance/tests/fixtures/trace_hashes.txt`)
+/// pin its output: changing the constants is a fixture re-bless, not a
+/// tweak. The multiplier spreads consecutive harness seeds across the
+/// driver RNG's seed space; the offset keeps seed 0 away from the
+/// all-zeros state.
+pub const fn sim_seed(seed: u64) -> u64 {
+    0x5EE2 + seed * 7919
 }
 
 /// Seed-averaged measurements of one experiment cell.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CellResult {
     /// Mean speedup over the sequential execution.
     pub speedup: f64,
@@ -60,54 +103,63 @@ pub struct CellResult {
     pub median_tx_lock_fraction: Option<f64>,
 }
 
-/// Runs `cell` once per seed and averages the measurements.
+impl CellResult {
+    /// Averages raw per-seed metrics into one `CellResult` (the reduction
+    /// shared by [`run_cell`] and `CellExecutor::cell`).
+    ///
+    /// # Panics
+    /// If `runs` is empty.
+    pub fn average(runs: &[RunMetrics]) -> Self {
+        assert!(!runs.is_empty(), "averaging zero runs");
+        let mut acc = CellResult::default();
+        let mut lock_fraction_acc = 0.0;
+        let mut lock_fraction_n = 0u64;
+        for m in runs {
+            acc.speedup += m.speedup();
+            acc.abort_ratio += m.abort_ratio();
+            acc.fallback_fraction += m.fallback_fraction();
+            for (i, mode) in TxMode::ALL.iter().enumerate() {
+                acc.mode_fractions[i] += m.modes.fraction(*mode);
+            }
+            if let Some(f) = m.median_tx_lock_fraction() {
+                lock_fraction_acc += f;
+                lock_fraction_n += 1;
+            }
+        }
+        let n = runs.len() as f64;
+        acc.speedup /= n;
+        acc.abort_ratio /= n;
+        acc.fallback_fraction /= n;
+        for f in &mut acc.mode_fractions {
+            *f /= n;
+        }
+        acc.median_tx_lock_fraction = if lock_fraction_n > 0 {
+            Some(lock_fraction_acc / lock_fraction_n as f64)
+        } else {
+            None
+        };
+        acc
+    }
+}
+
+/// Runs `cell` once per seed (serially, uncached) and averages the
+/// measurements. The memoizing equivalent is `CellExecutor::cell`.
 pub fn run_cell(cell: Cell, cfg: &HarnessConfig) -> CellResult {
-    let mut acc = CellResult::default();
-    let mut lock_fraction_acc = 0.0;
-    let mut lock_fraction_n = 0u64;
-    for seed in 0..cfg.seeds {
-        let m = run_once(cell, seed, cfg.scale);
-        acc.speedup += m.speedup();
-        acc.abort_ratio += m.abort_ratio();
-        acc.fallback_fraction += m.fallback_fraction();
-        for (i, mode) in TxMode::ALL.iter().enumerate() {
-            acc.mode_fractions[i] += m.modes.fraction(*mode);
-        }
-        if let Some(f) = m.median_tx_lock_fraction() {
-            lock_fraction_acc += f;
-            lock_fraction_n += 1;
-        }
-    }
-    let n = cfg.seeds as f64;
-    acc.speedup /= n;
-    acc.abort_ratio /= n;
-    acc.fallback_fraction /= n;
-    for f in &mut acc.mode_fractions {
-        *f /= n;
-    }
-    acc.median_tx_lock_fraction = if lock_fraction_n > 0 {
-        Some(lock_fraction_acc / lock_fraction_n as f64)
-    } else {
-        None
-    };
-    acc
+    let runs: Vec<RunMetrics> = (0..cfg.seeds)
+        .map(|seed| run_once(cell, seed, cfg.scale))
+        .collect();
+    CellResult::average(&runs)
 }
 
 /// Runs one seed of `cell` and returns the raw metrics.
 pub fn run_once(cell: Cell, seed: u64, scale: f64) -> RunMetrics {
-    let txs = ((cell.benchmark.default_txs() as f64 * scale) as usize).max(20);
-    let mut workload = cell.benchmark.instantiate(cell.threads, txs);
+    let mut workload = cell.benchmark.instantiate_scaled(cell.threads, scale);
     let blocks = workload.num_blocks();
     let mut sched = cell.policy.build(cell.threads, blocks);
-    // Distinct base per seed, deterministic per (cell, seed).
-    let cfg = DriverConfig::paper_machine(cell.threads, 0x5EE2 + seed * 7919);
-    let metrics = run(&mut *workload_as_dyn(&mut workload), sched.as_mut(), &cfg);
+    let cfg = DriverConfig::paper_machine(cell.threads, sim_seed(seed));
+    let metrics = run(&mut workload, sched.as_mut(), &cfg);
     assert!(!metrics.truncated, "run truncated: {cell:?} seed {seed}");
     metrics
-}
-
-fn workload_as_dyn(w: &mut seer_stamp::StampModel) -> &mut dyn Workload {
-    w
 }
 
 /// Geometric mean of positive values; 0 for an empty slice.
@@ -138,6 +190,14 @@ mod tests {
     }
 
     #[test]
+    fn sim_seed_is_pinned() {
+        // The golden trace hashes depend on this derivation; see the
+        // conformance replay suite.
+        assert_eq!(sim_seed(0), 0x5EE2);
+        assert_eq!(sim_seed(1) - sim_seed(0), 7919);
+    }
+
+    #[test]
     fn run_cell_is_deterministic() {
         let cell = Cell {
             benchmark: Benchmark::Ssca2,
@@ -147,6 +207,7 @@ mod tests {
         let cfg = HarnessConfig {
             seeds: 2,
             scale: 0.1,
+            jobs: 1,
         };
         let a = run_cell(cell, &cfg);
         let b = run_cell(cell, &cfg);
@@ -165,6 +226,7 @@ mod tests {
         let cfg = HarnessConfig {
             seeds: 1,
             scale: 0.2,
+            jobs: 1,
         };
         let r = run_cell(cell, &cfg);
         let total: f64 = r.mode_fractions.iter().sum();

@@ -131,6 +131,20 @@ impl Benchmark {
     pub fn instantiate_default(self, threads: usize) -> StampModel {
         self.instantiate(threads, self.default_txs())
     }
+
+    /// Per-thread transaction count at `scale` (1.0 = the default),
+    /// floored at 20 so heavily scaled-down runs still exercise every
+    /// atomic block.
+    pub fn scaled_txs(self, scale: f64) -> usize {
+        ((self.default_txs() as f64 * scale) as usize).max(20)
+    }
+
+    /// Instantiates the model at a scale factor on the default
+    /// transaction count — the one sizing rule shared by the harness
+    /// runner, the experiment extras, and the CLI.
+    pub fn instantiate_scaled(self, threads: usize, scale: f64) -> StampModel {
+        self.instantiate(threads, self.scaled_txs(scale))
+    }
 }
 
 #[cfg(test)]
