@@ -123,6 +123,8 @@ mod tests {
             locks: bank,
             topology: Topology::haswell_e3(),
             rng,
+            // Zero-sized, so the leak is free.
+            trace: Box::leak(Box::new(seer_runtime::NullTraceSink)),
         }
     }
 

@@ -60,11 +60,13 @@ mod tests {
         let mut h = Hle::default();
         let bank = LockBank::new(4, 2);
         let mut rng = SimRng::new(0);
+        let mut sink = seer_runtime::NullTraceSink;
         let mut env = SchedEnv {
             now: 0,
             locks: &bank,
             topology: Topology::haswell_e3(),
             rng: &mut rng,
+            trace: &mut sink,
         };
         assert!(h.pre_attempt_gates(0, 0, 2, &mut env).is_empty());
         match h.on_abort(0, 0, XStatus::conflict(), 1, &mut env) {

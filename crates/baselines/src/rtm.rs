@@ -95,11 +95,13 @@ mod tests {
         let mut r = Rtm::respecting_retry_hint(5);
         let bank = LockBank::new(4, 2);
         let mut rng = SimRng::new(0);
+        let mut sink = seer_runtime::NullTraceSink;
         let mut env = SchedEnv {
             now: 0,
             locks: &bank,
             topology: Topology::haswell_e3(),
             rng: &mut rng,
+            trace: &mut sink,
         };
         assert_eq!(
             r.on_abort(0, 0, XStatus::capacity(), 4, &mut env),
@@ -123,11 +125,13 @@ mod tests {
         assert_eq!(r.attempt_budget(), 5);
         let bank = LockBank::new(4, 2);
         let mut rng = SimRng::new(0);
+        let mut sink = seer_runtime::NullTraceSink;
         let mut env = SchedEnv {
             now: 0,
             locks: &bank,
             topology: Topology::haswell_e3(),
             rng: &mut rng,
+            trace: &mut sink,
         };
         for left in (1..=5).rev() {
             let gates = r.pre_attempt_gates(0, 0, left, &mut env);

@@ -1,0 +1,84 @@
+//! Tracing overhead: `simulate_cold` against its no-op-sink traced twin.
+//!
+//! Tracing is a sink, not a feature flag, so the disabled cost must be
+//! one cached boolean test per emission site — in the noise for a whole
+//! simulation. Before timing anything the setup asserts the zero-cost
+//! claim structurally: the traced run's event-schedule digest is
+//! bit-identical to the untraced run's, and tracing adds no simulation
+//! work to the executor (its miss counter is untouched by traced runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seer_bench::{bench_executor, simulate_cold, simulate_cold_traced};
+use seer_harness::{Cell, PolicyKind};
+use seer_runtime::{MemoryTraceSink, NullTraceSink};
+use seer_stamp::Benchmark;
+use std::hint::black_box;
+
+fn probe_cell() -> Cell {
+    Cell {
+        benchmark: Benchmark::Ssca2,
+        policy: PolicyKind::Seer,
+        threads: 8,
+    }
+}
+
+/// The structural zero-overhead assertions, run once before timing.
+fn assert_sink_is_pure_observer(cell: Cell) {
+    let exec = bench_executor(1);
+    let untraced = exec.metrics(cell, 0);
+    let misses_before = exec.misses();
+
+    let mut null = NullTraceSink;
+    let traced = simulate_cold_traced(cell, &mut null);
+    assert_eq!(
+        untraced.trace_hash, traced.trace_hash,
+        "a no-op sink changed the event schedule"
+    );
+    assert_eq!(untraced.commits, traced.commits);
+    assert_eq!(untraced.makespan, traced.makespan);
+    assert_eq!(
+        exec.misses(),
+        misses_before,
+        "a traced run added simulation work to the executor"
+    );
+
+    // A collecting sink observes the same run too (sink choice can
+    // never steer the simulation).
+    let mut memory = MemoryTraceSink::new();
+    let collected = simulate_cold_traced(cell, &mut memory);
+    assert_eq!(untraced.trace_hash, collected.trace_hash);
+    assert!(!memory.lifecycle.is_empty());
+}
+
+fn trace_overhead(c: &mut Criterion) {
+    let cell = probe_cell();
+    assert_sink_is_pure_observer(cell);
+
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function("simulate_cold", |b| {
+        b.iter(|| black_box(simulate_cold(cell).makespan));
+    });
+    group.bench_function("simulate_cold_noop_sink", |b| {
+        b.iter(|| {
+            let mut sink = NullTraceSink;
+            black_box(simulate_cold_traced(cell, &mut sink).makespan)
+        });
+    });
+    group.bench_function("simulate_cold_memory_sink", |b| {
+        b.iter(|| {
+            let mut sink = MemoryTraceSink::new();
+            black_box(simulate_cold_traced(cell, &mut sink).makespan)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = trace_overhead
+}
+criterion_main!(benches);

@@ -23,8 +23,8 @@
 //! Run with `cargo bench --workspace`; each bench uses a reduced workload
 //! scale so a full sweep stays in the minutes range.
 
-use seer_harness::{Cell, CellExecutor, HarnessConfig};
-use seer_runtime::RunMetrics;
+use seer_harness::{run_once_traced, Cell, CellExecutor, HarnessConfig};
+use seer_runtime::{RunMetrics, TraceSink};
 
 /// Workload scale factor shared by the simulation benches.
 pub const BENCH_SCALE: f64 = 0.05;
@@ -45,4 +45,12 @@ pub fn bench_executor(jobs: usize) -> CellExecutor {
 /// miss: the timed quantity is the simulation itself).
 pub fn simulate_cold(cell: Cell) -> RunMetrics {
     bench_executor(1).metrics(cell, 0)
+}
+
+/// The traced twin of [`simulate_cold`]: the same cell, seed and scale
+/// with the run's trace streams handed to `sink`. With a
+/// `NullTraceSink` this must cost nothing beyond one cached boolean per
+/// emission site — the `trace_overhead` bench pins that.
+pub fn simulate_cold_traced(cell: Cell, sink: &mut dyn TraceSink) -> RunMetrics {
+    run_once_traced(cell, 0, BENCH_SCALE, sink)
 }

@@ -1,8 +1,13 @@
-//! The CLI commands: `list`, `run`, `sweep`, `inspect`.
+//! The CLI commands: `list`, `run`, `sweep`, `inspect`, `explain`.
+
+use std::sync::Once;
 
 use seer::{Seer, SeerConfig};
-use seer_harness::{default_jobs, run_once, Cell, CellExecutor, HarnessConfig, Plan, PolicyKind};
-use seer_runtime::{run, DriverConfig, RunMetrics, TxMode, Workload};
+use seer_harness::{
+    default_jobs, run_once, run_once_traced, write_chrome_trace, write_trace_jsonl, Cell,
+    CellExecutor, HarnessConfig, Plan, PolicyKind,
+};
+use seer_runtime::{run, DriverConfig, MemoryTraceSink, RunMetrics, TxMode, Workload};
 use seer_stamp::Benchmark;
 
 use crate::args::{Args, ParseError};
@@ -38,9 +43,12 @@ pub fn print_usage() {
          \x20 list                         benchmarks and policies\n\
          \x20 run      one simulated run   --benchmark B --policy P --threads N\n\
          \x20                              [--seed N] [--txs N] [--json true]\n\
+         \x20                              [--trace F.jsonl] [--chrome F.json]\n\
          \x20 sweep    thread sweep        --benchmark B [--policies hle,rtm,scm,seer]\n\
          \x20                              [--max-threads N] [--seed N] [--jobs N]\n\
          \x20 inspect  Seer's learned state --benchmark B --threads N [--txs N] [--seed N]\n\
+         \x20 explain  decision history     --benchmark B --policy P --pair X,Y\n\
+         \x20          for one block pair   [--threads N] [--seed N] [--txs N]\n\
          \n\
          Simulated machine: 4 physical cores x 2 hyper-threads (the paper's\n\
          Haswell Xeon E3-1275); all results are in simulated cycles."
@@ -93,7 +101,9 @@ fn metrics_summary(m: &RunMetrics) -> String {
 
 /// `seer run`.
 pub fn run_one(args: &Args) -> Result<(), ParseError> {
-    args.allow_only(&["benchmark", "policy", "threads", "seed", "txs", "json"])?;
+    args.allow_only(&[
+        "benchmark", "policy", "threads", "seed", "txs", "json", "trace", "chrome",
+    ])?;
     let benchmark = parse_benchmark(args.get("benchmark").unwrap_or("genome"))?;
     let policy = parse_policy(args.get("policy").unwrap_or("seer"))?;
     let threads: usize = args.get_parsed("threads", 8)?;
@@ -105,15 +115,32 @@ pub fn run_one(args: &Args) -> Result<(), ParseError> {
     }
 
     let scale = txs as f64 / benchmark.default_txs() as f64;
-    let m = run_once(
-        Cell {
-            benchmark,
-            policy,
-            threads,
-        },
-        seed,
-        scale,
-    );
+    let cell = Cell {
+        benchmark,
+        policy,
+        threads,
+    };
+    let trace_path = args.get("trace");
+    let chrome_path = args.get("chrome");
+    let m = if trace_path.is_some() || chrome_path.is_some() {
+        // Tracing is a sink, not a flag: metrics (and trace_hash) are
+        // bit-identical to the untraced run below.
+        let mut sink = MemoryTraceSink::new();
+        let m = run_once_traced(cell, seed, scale, &mut sink);
+        if let Some(path) = trace_path {
+            if write_trace_jsonl(path, &sink) {
+                eprintln!("trace: JSONL written to {path}");
+            }
+        }
+        if let Some(path) = chrome_path {
+            if write_chrome_trace(path, &sink) {
+                eprintln!("trace: Chrome trace-event JSON written to {path}");
+            }
+        }
+        m
+    } else {
+        run_once(cell, seed, scale)
+    };
     if json {
         use seer_harness::{Json, ToJson};
         let out = Json::object([
@@ -272,6 +299,137 @@ pub fn inspect(args: &Args) -> Result<(), ParseError> {
     Ok(())
 }
 
+/// Parses `--pair X,Y` into block indices.
+fn parse_pair(raw: &str) -> Result<(usize, usize), ParseError> {
+    let err = || ParseError(format!("--pair {raw:?} is not of the form X,Y (block indices)"));
+    let (x, y) = raw.split_once(',').ok_or_else(err)?;
+    Ok((
+        x.trim().parse().map_err(|_| err())?,
+        y.trim().parse().map_err(|_| err())?,
+    ))
+}
+
+/// The decision history of `(x, y)` for one replayed cell — every
+/// inference round's probabilities, fitted Gaussian, Th2 cutoff and
+/// verdict reason. Returned as a string so tests can assert on it; the
+/// `explain` command prints it.
+pub fn explain_text(cell: Cell, seed: u64, scale: f64, x: usize, y: usize) -> String {
+    let mut sink = MemoryTraceSink::new();
+    let m = run_once_traced(cell, seed, scale, &mut sink);
+    let workload = cell.benchmark.instantiate_scaled(cell.threads, scale);
+    let mut out = format!(
+        "pair ({x}, {y}) = ({}, {}) — {} under {}, {} thread(s), seed {seed}\n\
+         {} commits, {} inference round(s) recorded\n",
+        workload.block_name(x),
+        workload.block_name(y),
+        cell.benchmark.name(),
+        cell.policy.label(),
+        cell.threads,
+        m.commits,
+        sink.inference.len(),
+    );
+    let mut decided = 0usize;
+    for tr in &sink.inference {
+        let Some((row, pair)) = tr.decision(x, y) else {
+            continue;
+        };
+        decided += 1;
+        out.push_str(&format!(
+            "\nround {} at {} cycles (digest {:#018x}, {} execs, Th1={:.2} Th2={:.2})\n\
+             \x20 P(abort {x} | {x}||{y})     conditional = {:.4}\n\
+             \x20 P(abort {x} ^ {x}||{y})    conjunctive = {:.4}\n\
+             \x20 row {x} fit: eta = {:.4}, sigma^2 = {:.6}, Th2 cutoff = {:.4}{}\n\
+             \x20 verdict: {} — {}\n",
+            tr.round,
+            tr.at,
+            tr.stats_digest,
+            tr.total_execs,
+            tr.th1,
+            tr.th2,
+            pair.conditional,
+            pair.conjunctive,
+            row.eta,
+            row.sigma2,
+            row.cutoff,
+            if row.discriminative {
+                ""
+            } else {
+                " (non-discriminative: cutoff filter waived)"
+            },
+            pair.verdict.label(),
+            pair.verdict.reason(),
+        ));
+    }
+    if decided == 0 {
+        out.push_str(
+            "\nno decision recorded for this pair — the policy never ran an \
+             inference round covering it\n(only the Seer-family policies infer; \
+             try --policy seer)\n",
+        );
+    } else if let Some(last) = sink
+        .inference
+        .iter()
+        .rev()
+        .find_map(|tr| tr.decision(x, y))
+    {
+        out.push_str(&format!(
+            "\nfinal scheme: pair ({x}, {y}) {}serialized\n",
+            if last.1.verdict.serialize() { "" } else { "NOT " }
+        ));
+    }
+    out
+}
+
+/// `seer explain`.
+pub fn explain(args: &Args) -> Result<(), ParseError> {
+    args.allow_only(&["benchmark", "policy", "pair", "threads", "seed", "txs"])?;
+    let benchmark = parse_benchmark(args.get("benchmark").unwrap_or("genome"))?;
+    let policy = parse_policy(args.get("policy").unwrap_or("seer"))?;
+    let threads: usize = args.get_parsed("threads", 8)?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let txs: usize = args.get_parsed("txs", benchmark.default_txs())?;
+    if threads == 0 || threads > 8 {
+        return Err(ParseError("--threads must be 1..=8".into()));
+    }
+    let raw_pair = args
+        .get("pair")
+        .ok_or_else(|| ParseError("explain needs --pair X,Y".into()))?;
+    let (x, y) = parse_pair(raw_pair)?;
+
+    let scale = txs as f64 / benchmark.default_txs() as f64;
+    let blocks = benchmark.instantiate_scaled(threads, scale).num_blocks();
+    if x >= blocks || y >= blocks {
+        // Warn once per process (the `SEER_SEEDS`/`SEER_JOBS` style)
+        // instead of panicking: an out-of-range pair is a diagnosis typo,
+        // not a reason to abort a script driving the CLI.
+        static WARNED: Once = Once::new();
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: pair ({x}, {y}) is out of range for {} \
+                 ({blocks} atomic blocks, indices 0..={}); skipping",
+                benchmark.name(),
+                blocks - 1
+            );
+        });
+        return Ok(());
+    }
+    print!(
+        "{}",
+        explain_text(
+            Cell {
+                benchmark,
+                policy,
+                threads,
+            },
+            seed,
+            scale,
+            x,
+            y,
+        )
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,5 +519,107 @@ mod tests {
     fn unknown_options_are_rejected() {
         let a = args(&["run", "--bogus", "1"]);
         assert!(run_one(&a).is_err());
+    }
+
+    #[test]
+    fn pair_parsing() {
+        assert_eq!(parse_pair("3,7").unwrap(), (3, 7));
+        assert_eq!(parse_pair("0, 1").unwrap(), (0, 1));
+        assert!(parse_pair("3").is_err());
+        assert!(parse_pair("a,b").is_err());
+        assert!(parse_pair("3,").is_err());
+    }
+
+    #[test]
+    fn explain_prints_at_least_one_round_with_full_decision_detail() {
+        let cell = Cell {
+            benchmark: Benchmark::KmeansHigh,
+            policy: PolicyKind::Seer,
+            threads: 4,
+        };
+        let text = explain_text(cell, 0, 0.2, 0, 1);
+        assert!(text.contains("round 1 at "), "no inference round:\n{text}");
+        assert!(text.contains("conditional = "), "{text}");
+        assert!(text.contains("conjunctive = "), "{text}");
+        assert!(text.contains("eta = "), "{text}");
+        assert!(text.contains("sigma^2 = "), "{text}");
+        assert!(text.contains("Th2 cutoff = "), "{text}");
+        assert!(text.contains("verdict: "), "{text}");
+        assert!(text.contains("final scheme: pair (0, 1)"), "{text}");
+    }
+
+    #[test]
+    fn explain_command_executes_on_known_pair() {
+        let a = args(&[
+            "explain",
+            "--benchmark",
+            "kmeans-high",
+            "--policy",
+            "seer",
+            "--pair",
+            "0,1",
+            "--threads",
+            "4",
+            "--txs",
+            "60",
+        ]);
+        explain(&a).expect("explain should succeed");
+    }
+
+    #[test]
+    fn explain_warns_on_out_of_range_pair_instead_of_panicking() {
+        let a = args(&[
+            "explain",
+            "--benchmark",
+            "ssca2",
+            "--pair",
+            "999,0",
+            "--threads",
+            "2",
+            "--txs",
+            "40",
+        ]);
+        // Out-of-range pair: warns once to stderr and returns Ok.
+        explain(&a).expect("out-of-range pair must not panic");
+        explain(&a).expect("second call hits the Once, still no panic");
+    }
+
+    #[test]
+    fn explain_requires_pair_and_validates_options() {
+        let a = args(&["explain", "--benchmark", "ssca2"]);
+        assert!(explain(&a).is_err());
+        let a = args(&["explain", "--pair", "nope"]);
+        assert!(explain(&a).is_err());
+        let a = args(&["explain", "--pair", "0,1", "--threads", "9"]);
+        assert!(explain(&a).is_err());
+    }
+
+    #[test]
+    fn run_command_writes_trace_files() {
+        let dir = std::env::temp_dir().join("seer-cli-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("trace.jsonl");
+        let chrome = dir.join("trace.json");
+        let a = args(&[
+            "run",
+            "--benchmark",
+            "ssca2",
+            "--policy",
+            "seer",
+            "--threads",
+            "2",
+            "--txs",
+            "40",
+            "--trace",
+            jsonl.to_str().unwrap(),
+            "--chrome",
+            chrome.to_str().unwrap(),
+        ]);
+        run_one(&a).expect("traced run should succeed");
+        let jsonl_content = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(!jsonl_content.is_empty());
+        assert!(jsonl_content.lines().next().unwrap().starts_with('{'));
+        let chrome_content = std::fs::read_to_string(&chrome).unwrap();
+        assert!(chrome_content.contains("traceEvents"));
     }
 }

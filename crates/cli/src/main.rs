@@ -5,6 +5,7 @@
 //! seer run    --benchmark genome --policy seer --threads 8 [--seed N] [--txs N] [--json true]
 //! seer sweep  --benchmark vacation-high [--policies hle,rtm,scm,seer] [--max-threads 8]
 //! seer inspect --benchmark intruder --threads 8 [--txs N]   # Seer's learned state
+//! seer explain --benchmark genome --policy seer --pair 0,2  # decision history of one pair
 //! ```
 
 mod args;
@@ -44,6 +45,7 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "run" => commands::run_one(&args).map_err(|e| e.to_string()),
         "sweep" => commands::sweep(&args).map_err(|e| e.to_string()),
         "inspect" => commands::inspect(&args).map_err(|e| e.to_string()),
+        "explain" => commands::explain(&args).map_err(|e| e.to_string()),
         other => Err(format!("unknown command {other:?}")),
     }
 }

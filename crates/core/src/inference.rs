@@ -14,6 +14,7 @@
 //! `y` *among the most suspicious peers*, rather than a false positive of
 //! the imprecise active-transactions probing?).
 
+use seer_runtime::trace::{PairDecision, RowTrace, Verdict};
 use seer_runtime::BlockId;
 
 use crate::gaussian::{gaussian_percentile, mean_variance};
@@ -87,6 +88,23 @@ pub const MIN_DISCRIMINATIVE_SIGMA: f64 = 0.05;
 /// direction evaluated (the caller applies the symmetric lock assignment of
 /// lines 73–74).
 pub fn infer_conflict_pairs(stats: &MergedStats, th: Thresholds) -> Vec<(BlockId, BlockId)> {
+    infer_conflict_pairs_traced(stats, th, None)
+}
+
+/// [`infer_conflict_pairs`] with decision provenance: when `on_row` is
+/// given, it receives one [`RowTrace`] per atomic block carrying the
+/// fitted Gaussian, the percentile cutoff actually used and every pair's
+/// probabilities and [`Verdict`].
+///
+/// The untraced entry point delegates here with `on_row = None`, so the
+/// serialize decisions and the emitted verdicts come from the *same*
+/// comparisons and can never diverge; the trace structures are only built
+/// when a callback is present (zero cost otherwise).
+pub fn infer_conflict_pairs_traced(
+    stats: &MergedStats,
+    th: Thresholds,
+    mut on_row: Option<&mut dyn FnMut(RowTrace)>,
+) -> Vec<(BlockId, BlockId)> {
     let n = stats.blocks();
     let mut pairs = Vec::new();
     let mut row = Vec::with_capacity(n);
@@ -96,13 +114,34 @@ pub fn infer_conflict_pairs(stats: &MergedStats, th: Thresholds) -> Vec<(BlockId
         let (eta, sigma2) = mean_variance(&row);
         let discriminative = sigma2.sqrt() >= MIN_DISCRIMINATIVE_SIGMA;
         let cutoff = gaussian_percentile(eta, sigma2, th.th2);
+        let mut row_trace = on_row.as_ref().map(|_| RowTrace {
+            x,
+            eta,
+            sigma2,
+            cutoff,
+            discriminative,
+            pairs: Vec::with_capacity(n),
+        });
         for (y, &cond) in row.iter().enumerate() {
             let conj = conjunctive_abort_probability(stats, x, y);
             // Strict inequalities as in the paper; the Th2 percentile only
             // participates when the row carries discriminative signal.
-            if conj > th.th1 && (!discriminative || cond > cutoff) {
+            let conjunctive_ok = conj > th.th1;
+            let conditional_ok = !discriminative || cond > cutoff;
+            if conjunctive_ok && conditional_ok {
                 pairs.push((x, y));
             }
+            if let Some(rt) = row_trace.as_mut() {
+                rt.pairs.push(PairDecision {
+                    y,
+                    conditional: cond,
+                    conjunctive: conj,
+                    verdict: Verdict::from_checks(conjunctive_ok, conditional_ok),
+                });
+            }
+        }
+        if let (Some(cb), Some(rt)) = (on_row.as_mut(), row_trace) {
+            cb(rt);
         }
     }
     pairs
@@ -251,6 +290,52 @@ mod tests {
         });
         let pairs = infer_conflict_pairs(&m, Thresholds::default());
         assert!(pairs.contains(&(0, 0)), "pairs = {pairs:?}");
+    }
+
+    #[test]
+    fn traced_inference_agrees_with_untraced() {
+        let m = stats_pairwise(5, |t| {
+            for _ in 0..35 {
+                t.register_abort(0, [1].into_iter());
+            }
+            for y in 2..5usize {
+                for _ in 0..4 {
+                    t.register_abort(0, [y].into_iter());
+                }
+            }
+            for _ in 0..5 {
+                t.register_commit(0, [1].into_iter());
+            }
+            for y in 2..5usize {
+                for _ in 0..16 {
+                    t.register_commit(0, [y].into_iter());
+                }
+            }
+        });
+        let th = Thresholds { th1: 0.03, th2: 0.8 };
+        let plain = infer_conflict_pairs(&m, th);
+        let mut rows = Vec::new();
+        let traced = infer_conflict_pairs_traced(&m, th, Some(&mut |r| rows.push(r)));
+        assert_eq!(plain, traced);
+        assert_eq!(rows.len(), 5, "one row trace per block");
+        // The serialized pairs are exactly the Serialize verdicts.
+        let from_verdicts: Vec<(usize, usize)> = rows
+            .iter()
+            .flat_map(|r| {
+                r.pairs
+                    .iter()
+                    .filter(|p| p.verdict.serialize())
+                    .map(move |p| (r.x, p.y))
+            })
+            .collect();
+        assert_eq!(from_verdicts, plain);
+        // Probabilities in the trace are the real ones, bit for bit.
+        for r in &rows {
+            for p in &r.pairs {
+                assert_eq!(p.conditional, conditional_abort_probability(&m, r.x, p.y));
+                assert_eq!(p.conjunctive, conjunctive_abort_probability(&m, r.x, p.y));
+            }
+        }
     }
 
     #[test]

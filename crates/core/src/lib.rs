@@ -57,6 +57,6 @@ pub mod stats;
 
 pub use config::{ProfilingCosts, SeerConfig};
 pub use hillclimb::HillClimber;
-pub use inference::Thresholds;
+pub use inference::{infer_conflict_pairs, infer_conflict_pairs_traced, Thresholds};
 pub use locktable::LockTable;
 pub use scheduler::{Seer, SeerCounters, UpdateRecord};

@@ -24,6 +24,7 @@
 //! reproduction uses the classical ordered-acquisition discipline instead.
 
 use seer_htm::XStatus;
+use seer_runtime::trace::{InferenceTrace, TraceSink};
 use seer_runtime::{
     AbortDecision, BlockId, Gate, HookPoint, LockId, SchedEnv, Scheduler,
 };
@@ -32,7 +33,7 @@ use seer_sim::{Cycles, ThreadId};
 use crate::active::ActiveTxs;
 use crate::config::SeerConfig;
 use crate::hillclimb::HillClimber;
-use crate::inference::{infer_conflict_pairs, Thresholds};
+use crate::inference::{infer_conflict_pairs, infer_conflict_pairs_traced, Thresholds};
 use crate::locktable::LockTable;
 use crate::stats::{MergedStats, ThreadStats};
 
@@ -174,8 +175,36 @@ impl Seer {
     /// UPDATE-Seer-LOCKS (Alg. 5): merge per-thread statistics, recompute
     /// the conflict pairs under the current thresholds, swap the table.
     pub fn force_update(&mut self) {
+        self.update_with_trace(None);
+    }
+
+    /// The update, optionally emitting one [`InferenceTrace`] to `sink`
+    /// stamped with virtual time `now`. The traced and untraced paths run
+    /// the same inference code ([`infer_conflict_pairs_traced`]), so the
+    /// emitted verdicts are the decisions, not a reconstruction.
+    fn update_with_trace(&mut self, trace: Option<(&mut dyn TraceSink, Cycles)>) {
         self.merged.merge_from(self.per_thread.iter());
-        let pairs = infer_conflict_pairs(&self.merged, self.thresholds);
+        let pairs = match trace {
+            Some((sink, now)) if sink.enabled() => {
+                let mut rows = Vec::with_capacity(self.blocks);
+                let pairs = infer_conflict_pairs_traced(
+                    &self.merged,
+                    self.thresholds,
+                    Some(&mut |r| rows.push(r)),
+                );
+                sink.inference(InferenceTrace {
+                    round: self.counters.updates + 1,
+                    at: now,
+                    stats_digest: self.merged.digest(),
+                    th1: self.thresholds.th1,
+                    th2: self.thresholds.th2,
+                    total_execs: self.total_execs,
+                    rows,
+                });
+                pairs
+            }
+            _ => infer_conflict_pairs(&self.merged, self.thresholds),
+        };
         self.table.rebuild(&pairs);
         self.counters.updates += 1;
         self.execs_at_last_update = self.total_execs;
@@ -203,7 +232,8 @@ impl Seer {
     fn maybe_update(&mut self, env: &mut SchedEnv<'_>) {
         if self.total_execs - self.execs_at_last_update >= self.cfg.update_period_execs {
             let before = self.table_checksum();
-            self.force_update();
+            let now = env.now;
+            self.update_with_trace(Some((&mut *env.trace, now)));
             let changed = self.table_checksum() != before;
             self.history.push(UpdateRecord {
                 at: env.now,
@@ -419,6 +449,8 @@ mod tests {
             locks: bank,
             topology: Topology::haswell_e3(),
             rng,
+            // Zero-sized, so the leak is free.
+            trace: Box::leak(Box::new(seer_runtime::NullTraceSink)),
         }
     }
 
@@ -603,6 +635,47 @@ mod tests {
         assert_eq!(s.lock_table().row(1), &[0]);
         assert_eq!(s.counters().updates, 1);
         assert_eq!(s.inferred_pairs(), vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    fn periodic_update_emits_inference_trace_when_sink_enabled() {
+        use seer_runtime::MemoryTraceSink;
+        let mut s = Seer::new(
+            SeerConfig {
+                update_period_execs: 1,
+                ..SeerConfig::full()
+            },
+            2,
+            2,
+        );
+        for _ in 0..60 {
+            s.per_thread[0].register_abort(0, [1].into_iter());
+        }
+        for _ in 0..40 {
+            s.per_thread[0].register_commit(0, [].into_iter());
+        }
+        s.total_execs = 100;
+        let bank = LockBank::new(4, 2);
+        let mut rng = SimRng::new(0);
+        let mut sink = MemoryTraceSink::new();
+        let mut e = SchedEnv {
+            now: 1234,
+            locks: &bank,
+            topology: Topology::haswell_e3(),
+            rng: &mut rng,
+            trace: &mut sink,
+        };
+        s.on_periodic(&mut e);
+        assert_eq!(sink.inference.len(), 1, "one update, one trace record");
+        let tr = &sink.inference[0];
+        assert_eq!(tr.round, 1);
+        assert_eq!(tr.at, 1234);
+        assert_eq!(tr.total_execs, 100);
+        assert_eq!(tr.rows.len(), 2, "one row per atomic block");
+        let (_, pair) = tr.decision(0, 1).expect("pair (0,1) must be traced");
+        assert!(pair.verdict.serialize(), "strong evidence must serialize");
+        assert_eq!(s.lock_table().row(0), &[1], "trace agrees with the table");
+        assert_eq!(tr.stats_digest, s.merged_stats().digest());
     }
 
     #[test]

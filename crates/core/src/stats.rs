@@ -147,6 +147,24 @@ impl MergedStats {
     pub fn total_executions(&self) -> u64 {
         self.executions.iter().sum()
     }
+
+    /// FNV-1a digest over all three matrices — the snapshot fingerprint an
+    /// inference round stores in its trace record, so an exported decision
+    /// log can tell whether two rounds read the same statistics.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        mix(self.blocks as u64);
+        self.commit.iter().for_each(|&v| mix(v));
+        self.abort.iter().for_each(|&v| mix(v));
+        self.executions.iter().for_each(|&v| mix(v));
+        h
+    }
 }
 
 #[cfg(test)]

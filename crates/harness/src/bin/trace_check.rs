@@ -1,0 +1,199 @@
+//! Schema checker for decision-provenance JSONL traces (CI gate).
+//!
+//! Validates every line of a trace file produced by `seer run --trace`
+//! (or `seer_harness::write_trace_jsonl`) against the schema documented
+//! in `DESIGN.md` §10: known record type, required fields present with
+//! the right JSON types, enum-valued fields restricted to their
+//! documented labels. Exits non-zero on the first violation, printing
+//! the offending line number and reason; on success prints a per-type
+//! record count summary.
+//!
+//! Usage: `trace_check <trace.jsonl>`
+
+use std::process::ExitCode;
+
+use seer_harness::Json;
+
+/// Lifecycle record types and their extra required fields beyond the
+/// common `type`/`at`/`thread` triple, as `(name, kind)` pairs.
+const LIFECYCLE_SCHEMAS: &[(&str, &[(&str, FieldKind)])] = &[
+    ("attempt-begin", &[("block", FieldKind::UInt), ("attempt", FieldKind::UInt)]),
+    (
+        "abort",
+        &[
+            ("block", FieldKind::UInt),
+            ("cause", FieldKind::AbortCause),
+            ("attempts_left", FieldKind::UInt),
+        ],
+    ),
+    ("lock-wait", &[("lock", FieldKind::LockLabel), ("holder", FieldKind::UIntOrNull)]),
+    ("locks-acquired", &[("locks", FieldKind::LockArray)]),
+    ("sgl-fallback", &[("block", FieldKind::UInt)]),
+    ("htm-commit", &[("block", FieldKind::UInt), ("attempts_used", FieldKind::UInt)]),
+    ("fallback-commit", &[("block", FieldKind::UInt)]),
+];
+
+const ABORT_CAUSES: &[&str] = &["conflict", "capacity", "explicit", "other"];
+const VERDICTS: &[&str] = &["serialize", "reject-th1", "reject-th2", "reject-both"];
+
+#[derive(Clone, Copy)]
+enum FieldKind {
+    UInt,
+    UIntOrNull,
+    AbortCause,
+    LockLabel,
+    LockArray,
+}
+
+fn check_lock_label(s: &str) -> bool {
+    s == "sgl"
+        || s == "aux"
+        || s.strip_prefix("core:").is_some_and(|n| n.parse::<u64>().is_ok())
+        || s.strip_prefix("tx:").is_some_and(|n| n.parse::<u64>().is_ok())
+}
+
+fn check_field(rec: &Json, name: &str, kind: FieldKind) -> Result<(), String> {
+    let v = rec.get(name).ok_or_else(|| format!("missing field {name:?}"))?;
+    let ok = match kind {
+        FieldKind::UInt => v.as_u64().is_some(),
+        FieldKind::UIntOrNull => v.as_u64().is_some() || matches!(v, Json::Null),
+        FieldKind::AbortCause => v.as_str().is_some_and(|s| ABORT_CAUSES.contains(&s)),
+        FieldKind::LockLabel => v.as_str().is_some_and(check_lock_label),
+        FieldKind::LockArray => v
+            .as_array()
+            .is_some_and(|a| a.iter().all(|l| l.as_str().is_some_and(check_lock_label))),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("field {name:?} has invalid value"))
+    }
+}
+
+fn check_inference(rec: &Json) -> Result<(), String> {
+    for name in ["at", "round", "total_execs"] {
+        check_field(rec, name, FieldKind::UInt)?;
+    }
+    let digest = rec
+        .get("stats_digest")
+        .and_then(|d| d.as_str())
+        .ok_or("missing field \"stats_digest\"")?;
+    if !digest.starts_with("0x") || u64::from_str_radix(&digest[2..], 16).is_err() {
+        return Err(format!("stats_digest {digest:?} is not a hex literal"));
+    }
+    for name in ["th1", "th2"] {
+        if rec.get(name).and_then(|v| v.as_f64()).is_none() {
+            return Err(format!("field {name:?} is not a number"));
+        }
+    }
+    let rows = rec
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or("field \"rows\" is not an array")?;
+    for row in rows {
+        check_field(row, "x", FieldKind::UInt)?;
+        for name in ["eta", "sigma2", "cutoff"] {
+            if row.get(name).and_then(|v| v.as_f64()).is_none() {
+                return Err(format!("row field {name:?} is not a number"));
+            }
+        }
+        if !matches!(row.get("discriminative"), Some(Json::Bool(_))) {
+            return Err("row field \"discriminative\" is not a bool".to_string());
+        }
+        let pairs = row
+            .get("pairs")
+            .and_then(|p| p.as_array())
+            .ok_or("row field \"pairs\" is not an array")?;
+        for pair in pairs {
+            check_field(pair, "y", FieldKind::UInt)?;
+            for name in ["conditional", "conjunctive"] {
+                if pair.get(name).and_then(|v| v.as_f64()).is_none() {
+                    return Err(format!("pair field {name:?} is not a number"));
+                }
+            }
+            let verdict = pair
+                .get("verdict")
+                .and_then(|v| v.as_str())
+                .ok_or("pair field \"verdict\" is not a string")?;
+            if !VERDICTS.contains(&verdict) {
+                return Err(format!("unknown verdict {verdict:?}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_record(rec: &Json) -> Result<&'static str, String> {
+    let ty = rec
+        .get("type")
+        .and_then(|t| t.as_str())
+        .ok_or("missing or non-string \"type\" field")?;
+    if ty == "inference" {
+        check_inference(rec)?;
+        return Ok("inference");
+    }
+    let (name, fields) = LIFECYCLE_SCHEMAS
+        .iter()
+        .find(|(name, _)| *name == ty)
+        .ok_or_else(|| format!("unknown record type {ty:?}"))?;
+    check_field(rec, "at", FieldKind::UInt)?;
+    check_field(rec, "thread", FieldKind::UInt)?;
+    for (field, kind) in *fields {
+        check_field(rec, field, *kind)?;
+    }
+    Ok(name)
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: trace_check <trace.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let content = match std::fs::read_to_string(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut counts: Vec<(&'static str, u64)> = Vec::new();
+    let mut last_at = 0u64;
+    for (lineno, line) in content.lines().enumerate() {
+        let lineno = lineno + 1;
+        let rec = match Json::parse(line) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{path}:{lineno}: not valid JSON: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let ty = match check_record(&rec) {
+            Ok(ty) => ty,
+            Err(e) => {
+                eprintln!("{path}:{lineno}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        // The exporter merges both streams chronologically.
+        let at = rec.get("at").and_then(|a| a.as_u64()).unwrap();
+        if at < last_at {
+            eprintln!("{path}:{lineno}: timestamp {at} goes backwards (previous {last_at})");
+            return ExitCode::FAILURE;
+        }
+        last_at = at;
+        match counts.iter_mut().find(|(name, _)| *name == ty) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((ty, 1)),
+        }
+    }
+    let total: u64 = counts.iter().map(|(_, n)| n).sum();
+    if total == 0 {
+        eprintln!("trace_check: {path}: no records");
+        return ExitCode::FAILURE;
+    }
+    println!("trace_check: {path}: {total} records OK");
+    for (name, n) in &counts {
+        println!("  {name:<16} {n}");
+    }
+    ExitCode::SUCCESS
+}

@@ -36,6 +36,7 @@ pub mod json;
 pub mod policy;
 pub mod report;
 pub mod runner;
+pub mod trace_export;
 
 pub use exec::{parallel_map, CellExecutor, CellKey, Plan};
 pub use experiments::{
@@ -46,8 +47,12 @@ pub use json::{Json, ToJson};
 pub use policy::{PolicyKind, UnknownPolicy};
 pub use report::{maybe_write_json, Panel, PercentTable, Series};
 pub use runner::{
-    default_jobs, default_seeds, geometric_mean, run_cell, run_once, sim_seed, Cell, CellResult,
-    HarnessConfig,
+    default_jobs, default_seeds, geometric_mean, run_cell, run_once, run_once_traced, sim_seed,
+    Cell, CellResult, HarnessConfig,
+};
+pub use trace_export::{
+    chrome_trace, inference_json, lifecycle_json, trace_jsonl, write_chrome_trace,
+    write_trace_jsonl,
 };
 
 /// Reads the common environment configuration for the binaries

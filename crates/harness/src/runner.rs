@@ -2,7 +2,7 @@
 
 use std::sync::Once;
 
-use seer_runtime::{run, DriverConfig, RunMetrics, TxMode, Workload};
+use seer_runtime::{run, run_traced, DriverConfig, RunMetrics, TraceSink, TxMode, Workload};
 use seer_stamp::Benchmark;
 
 use crate::policy::PolicyKind;
@@ -158,6 +158,26 @@ pub fn run_once(cell: Cell, seed: u64, scale: f64) -> RunMetrics {
     let mut sched = cell.policy.build(cell.threads, blocks);
     let cfg = DriverConfig::paper_machine(cell.threads, sim_seed(seed));
     let metrics = run(&mut workload, sched.as_mut(), &cfg);
+    assert!(!metrics.truncated, "run truncated: {cell:?} seed {seed}");
+    metrics
+}
+
+/// [`run_once`] with decision-provenance collection: identical workload,
+/// scheduler construction and seed derivation, with the run's lifecycle
+/// and inference streams handed to `sink`. The returned metrics (and in
+/// particular `trace_hash`) are bit-identical to [`run_once`] — tracing
+/// is a sink, not a flag.
+pub fn run_once_traced(
+    cell: Cell,
+    seed: u64,
+    scale: f64,
+    sink: &mut dyn TraceSink,
+) -> RunMetrics {
+    let mut workload = cell.benchmark.instantiate_scaled(cell.threads, scale);
+    let blocks = workload.num_blocks();
+    let mut sched = cell.policy.build(cell.threads, blocks);
+    let cfg = DriverConfig::paper_machine(cell.threads, sim_seed(seed));
+    let metrics = run_traced(&mut workload, sched.as_mut(), &cfg, sink);
     assert!(!metrics.truncated, "run truncated: {cell:?} seed {seed}");
     metrics
 }

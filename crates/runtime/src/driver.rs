@@ -40,6 +40,7 @@ use seer_sim::{Cycles, EventQueue, SimRng, ThreadId, Topology};
 use crate::locks::{LockBank, LockId};
 use crate::metrics::{RunMetrics, TxMode};
 use crate::scheduler::{AbortDecision, Gate, HookPoint, SchedEnv, Scheduler};
+use crate::trace::{AbortCause, LifecycleEvent, NullTraceSink, TraceSink};
 use crate::workload::{TxRequest, Workload};
 
 /// Configuration of a simulation run.
@@ -174,6 +175,24 @@ pub fn run(
     sched: &mut dyn Scheduler,
     cfg: &DriverConfig,
 ) -> RunMetrics {
+    run_traced(workload, sched, cfg, &mut NullTraceSink)
+}
+
+/// Like [`run`], but hands decision-provenance records to `sink`.
+///
+/// Tracing is purely observational: the returned metrics — including
+/// [`RunMetrics::trace_hash`] — are bit-identical to an untraced run of
+/// the same `(workload, scheduler, config)`; the sink only receives
+/// copies of state the simulation already computes.
+///
+/// # Panics
+/// If `cfg.threads` is zero or exceeds the topology's logical CPUs.
+pub fn run_traced(
+    workload: &mut dyn Workload,
+    sched: &mut dyn Scheduler,
+    cfg: &DriverConfig,
+    sink: &mut dyn TraceSink,
+) -> RunMetrics {
     assert!(cfg.threads > 0, "need at least one thread");
     assert!(
         cfg.threads <= cfg.topology.logical_cpus(),
@@ -181,16 +200,19 @@ pub fn run(
         cfg.threads,
         cfg.topology.logical_cpus()
     );
-    let mut driver = Driver::new(workload, sched, cfg.clone());
+    let mut driver = Driver::new(workload, sched, sink, cfg.clone());
     driver.bootstrap();
     driver.main_loop();
     driver.finish()
 }
 
-struct Driver<'w, 's> {
+struct Driver<'w, 's, 't> {
     cfg: DriverConfig,
     workload: &'w mut dyn Workload,
     sched: &'s mut dyn Scheduler,
+    sink: &'t mut dyn TraceSink,
+    /// `sink.enabled()`, cached: the hot path pays one boolean test.
+    trace_on: bool,
     machine: HtmMachine,
     locks: LockBank,
     queue: EventQueue<Event>,
@@ -203,8 +225,13 @@ struct Driver<'w, 's> {
     smt_factor: Vec<f64>,
 }
 
-impl<'w, 's> Driver<'w, 's> {
-    fn new(workload: &'w mut dyn Workload, sched: &'s mut dyn Scheduler, cfg: DriverConfig) -> Self {
+impl<'w, 's, 't> Driver<'w, 's, 't> {
+    fn new(
+        workload: &'w mut dyn Workload,
+        sched: &'s mut dyn Scheduler,
+        sink: &'t mut dyn TraceSink,
+        cfg: DriverConfig,
+    ) -> Self {
         let budget = sched.attempt_budget();
         assert!(budget > 0, "scheduler attempt budget must be positive");
         let blocks = workload.num_blocks();
@@ -220,10 +247,13 @@ impl<'w, 's> Driver<'w, 's> {
                 if shared { cfg.smt_slowdown.max(1.0) } else { 1.0 }
             })
             .collect();
+        let trace_on = sink.enabled();
         Self {
             cfg,
             workload,
             sched,
+            sink,
+            trace_on,
             machine,
             locks,
             queue: EventQueue::new(),
@@ -453,6 +483,7 @@ impl<'w, 's> Driver<'w, 's> {
             locks: &self.locks,
             topology: self.cfg.topology,
             rng: &mut self.rng,
+            trace: &mut *self.sink,
         };
         f(self.sched, &mut env)
     }
@@ -548,6 +579,14 @@ impl<'w, 's> Driver<'w, 's> {
                         if l == LockId::Sgl {
                             self.with_env(|sched, env| sched.on_sgl_wait(th, env));
                         }
+                        if self.trace_on {
+                            self.sink.lifecycle(LifecycleEvent::LockWait {
+                                at: self.now,
+                                thread: th,
+                                lock: l,
+                                holder: self.locks.get(l).owner(),
+                            });
+                        }
                         self.locks.get_mut(l).add_watcher(th);
                         self.park(th);
                         let epoch = self.threads[th].epoch;
@@ -571,6 +610,13 @@ impl<'w, 's> Driver<'w, 's> {
                             // record ownership so the lock is released later.
                             if !self.threads[th].held.contains(&l) {
                                 self.threads[th].held.push(l);
+                                if self.trace_on {
+                                    self.sink.lifecycle(LifecycleEvent::LocksAcquired {
+                                        at: self.now,
+                                        thread: th,
+                                        locks: vec![l],
+                                    });
+                                }
                             }
                         } else {
                             needed.push(l);
@@ -598,6 +644,13 @@ impl<'w, 's> Driver<'w, 's> {
                         self.threads[th].pending_delay +=
                             self.cfg.costs.xbegin + self.cfg.costs.xend;
                         self.record_tx_lock_acquisition(&needed);
+                        if self.trace_on {
+                            self.sink.lifecycle(LifecycleEvent::LocksAcquired {
+                                at: self.now,
+                                thread: th,
+                                locks: needed.clone(),
+                            });
+                        }
                     } else {
                         let mut newly = Vec::new();
                         let mut parked = false;
@@ -631,6 +684,13 @@ impl<'w, 's> Driver<'w, 's> {
             if !self.threads[th].held.contains(&l) {
                 // Granted by a release hand-off while we were parked.
                 self.threads[th].held.push(l);
+                if self.trace_on {
+                    self.sink.lifecycle(LifecycleEvent::LocksAcquired {
+                        at: self.now,
+                        thread: th,
+                        locks: vec![l],
+                    });
+                }
             }
             return true;
         }
@@ -649,8 +709,23 @@ impl<'w, 's> Driver<'w, 's> {
             if matches!(l, LockId::Tx(_)) {
                 self.record_tx_lock_acquisition(&[l]);
             }
+            if self.trace_on {
+                self.sink.lifecycle(LifecycleEvent::LocksAcquired {
+                    at: self.now,
+                    thread: th,
+                    locks: vec![l],
+                });
+            }
             true
         } else {
+            if self.trace_on {
+                self.sink.lifecycle(LifecycleEvent::LockWait {
+                    at: self.now,
+                    thread: th,
+                    lock: l,
+                    holder: self.locks.get(l).owner(),
+                });
+            }
             self.locks.get_mut(l).enqueue_acquirer(th);
             self.park(th);
             false
@@ -701,6 +776,14 @@ impl<'w, 's> Driver<'w, 's> {
         self.bump(th);
         self.threads[th].phase = Phase::Running;
         self.metrics.htm_attempts += 1;
+        if self.trace_on {
+            self.sink.lifecycle(LifecycleEvent::AttemptBegin {
+                at: self.now,
+                thread: th,
+                block: self.threads[th].block(),
+                attempt: self.threads[th].attempts_used,
+            });
+        }
         let delay = std::mem::take(&mut self.threads[th].pending_delay);
         let body_start = self.now + delay + self.cfg.costs.xbegin;
         self.threads[th].body_start = body_start;
@@ -796,6 +879,14 @@ impl<'w, 's> Driver<'w, 's> {
         self.metrics.commits += 1;
         let used = self.threads[th].attempts_used.min(self.budget - 1) as usize;
         self.metrics.attempts_histogram[used] += 1;
+        if self.trace_on {
+            self.sink.lifecycle(LifecycleEvent::HtmCommit {
+                at: self.now,
+                thread: th,
+                block,
+                attempts_used: self.threads[th].attempts_used,
+            });
+        }
 
         self.release_all_held(th);
         let req = self.threads[th].req.take().expect("commit without request");
@@ -841,6 +932,15 @@ impl<'w, 's> Driver<'w, 's> {
         ctx.attempts_used += 1;
         let attempts_left = ctx.attempts_left;
         let block = ctx.block();
+        if self.trace_on {
+            self.sink.lifecycle(LifecycleEvent::Abort {
+                at: self.now,
+                thread: th,
+                block,
+                cause: AbortCause::from_status(status),
+                attempts_left,
+            });
+        }
 
         let decision =
             self.with_env(|sched, env| sched.on_abort(th, block, status, attempts_left, env));
@@ -879,6 +979,13 @@ impl<'w, 's> Driver<'w, 's> {
 
     fn enter_fallback_path_at(&mut self, th: ThreadId, at: Cycles) {
         self.metrics.fallbacks += 1;
+        if self.trace_on {
+            self.sink.lifecycle(LifecycleEvent::SglFallback {
+                at: self.now,
+                thread: th,
+                block: self.threads[th].block(),
+            });
+        }
         // RELEASE-Seer-LOCKS before taking the global lock (Alg. 1 line 19).
         self.release_all_held(th);
         self.install_gates(th, vec![Gate::Acquire(LockId::Sgl)], AfterGates::StartFallback);
@@ -920,6 +1027,13 @@ impl<'w, 's> Driver<'w, 's> {
             .attempts_histogram
             .last_mut()
             .expect("histogram sized by budget") += 1;
+        if self.trace_on {
+            self.sink.lifecycle(LifecycleEvent::FallbackCommit {
+                at: self.now,
+                thread: th,
+                block,
+            });
+        }
         self.release_lock(th, LockId::Sgl);
         self.threads[th].held.retain(|&l| l != LockId::Sgl);
         let req = self.threads[th].req.take().expect("fallback without request");
@@ -1132,6 +1246,46 @@ mod tests {
         let mut w = Uniform::new(9, 1, 1, false, true);
         let mut s = NullScheduler::new(5);
         let _ = run(&mut w, &mut s, &quiet_config(9));
+    }
+
+    #[test]
+    fn traced_run_is_bit_identical_and_events_reconcile() {
+        use crate::trace::{AbortCause, MemoryTraceSink};
+        let mut s = NullScheduler::new(2);
+        // High contention so aborts and SGL fall-backs both occur.
+        let mut w = Uniform::new(8, 30, 1, true, true);
+        let untraced = run(&mut w, &mut s, &quiet_config(8));
+        let mut w2 = Uniform::new(8, 30, 1, true, true);
+        let mut sink = MemoryTraceSink::new();
+        let traced = run_traced(&mut w2, &mut s, &quiet_config(8), &mut sink);
+
+        // Tracing is a sink, not a flag: the schedule digest cannot move.
+        assert_eq!(untraced.trace_hash, traced.trace_hash);
+        assert_eq!(untraced.commits, traced.commits);
+        assert_eq!(untraced.makespan, traced.makespan);
+
+        // The lifecycle stream reconciles exactly with the metrics.
+        assert_eq!(sink.count_kind("attempt-begin") as u64, traced.htm_attempts);
+        assert_eq!(
+            sink.count_abort_cause(AbortCause::Conflict) as u64,
+            traced.aborts.conflict
+        );
+        assert_eq!(
+            sink.count_abort_cause(AbortCause::Capacity) as u64,
+            traced.aborts.capacity
+        );
+        assert_eq!(
+            sink.count_abort_cause(AbortCause::Explicit) as u64,
+            traced.aborts.explicit
+        );
+        assert_eq!(sink.count_kind("sgl-fallback") as u64, traced.fallbacks);
+        let sgl_commits = traced.modes.get(TxMode::SglFallback);
+        assert_eq!(sink.count_kind("fallback-commit") as u64, sgl_commits);
+        assert_eq!(
+            sink.count_kind("htm-commit") as u64,
+            traced.commits - sgl_commits
+        );
+        assert!(traced.fallbacks > 0, "test workload must exercise the fall-back");
     }
 
     #[test]

@@ -22,10 +22,15 @@ pub mod locks;
 pub mod metrics;
 pub mod scheduler;
 pub mod synthetic;
+pub mod trace;
 pub mod workload;
 
-pub use driver::{run, DriverConfig};
+pub use driver::{run, run_traced, DriverConfig};
 pub use locks::{LockBank, LockId};
 pub use metrics::{AbortCounts, ConflictGroundTruth, ModeCounts, RunMetrics, TxMode};
 pub use scheduler::{AbortDecision, Gate, HookPoint, NullScheduler, SchedEnv, Scheduler};
+pub use trace::{
+    AbortCause, InferenceTrace, LifecycleEvent, MemoryTraceSink, NullTraceSink, PairDecision,
+    RowTrace, TraceSink, Verdict,
+};
 pub use workload::{Access, BlockId, TxRequest, Workload};

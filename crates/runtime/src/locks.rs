@@ -38,6 +38,19 @@ pub enum LockId {
     Tx(usize),
 }
 
+impl std::fmt::Display for LockId {
+    /// The stable label used by the trace JSONL schema: `sgl`, `aux`,
+    /// `core:<i>`, `tx:<j>`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LockId::Sgl => write!(f, "sgl"),
+            LockId::Aux => write!(f, "aux"),
+            LockId::Core(i) => write!(f, "core:{i}"),
+            LockId::Tx(i) => write!(f, "tx:{i}"),
+        }
+    }
+}
+
 /// All locks of a simulation run.
 #[derive(Debug, Clone)]
 pub struct LockBank {

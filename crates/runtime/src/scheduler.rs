@@ -14,6 +14,7 @@ use seer_htm::XStatus;
 use seer_sim::{Cycles, SimRng, ThreadId, Topology};
 
 use crate::locks::{LockBank, LockId};
+use crate::trace::TraceSink;
 use crate::workload::BlockId;
 
 /// Instrumentation points at which a scheduler can charge fixed overhead
@@ -80,6 +81,10 @@ pub struct SchedEnv<'a> {
     pub topology: Topology,
     /// Deterministic randomness (hill climbing random jumps, etc.).
     pub rng: &'a mut SimRng,
+    /// Decision-provenance sink. A pure observer: schedulers may emit
+    /// records (guarded on [`TraceSink::enabled`]) but must not let the
+    /// sink influence any decision.
+    pub trace: &'a mut dyn TraceSink,
 }
 
 /// A contention-management policy for best-effort HTM.
@@ -198,11 +203,13 @@ mod tests {
         assert_eq!(s.name(), "null");
         let bank = LockBank::new(1, 1);
         let mut rng = SimRng::new(1);
+        let mut sink = crate::trace::NullTraceSink;
         let mut env = SchedEnv {
             now: 0,
             locks: &bank,
             topology: Topology::haswell_e3(),
             rng: &mut rng,
+            trace: &mut sink,
         };
         assert!(!s.pre_tx_fallback(0, 0, &mut env));
         assert!(s.pre_attempt_gates(0, 0, 3, &mut env).is_empty());

@@ -44,3 +44,16 @@ pub use topology::{CoreId, ThreadId, Topology};
 /// simulation loops free of wrapper noise; the type alias still documents
 /// intent at API boundaries.
 pub type Cycles = u64;
+
+/// Nominal clock used when converting virtual time to the microsecond
+/// timestamps external trace formats expect (Chrome's `chrome://tracing`
+/// JSON uses µs). One simulated cycle = 1 ns, i.e. a 1 GHz nominal clock:
+/// the absolute scale is arbitrary — only ratios of [`Cycles`] carry
+/// meaning — but a fixed convention keeps exported traces comparable.
+pub const NOMINAL_CYCLES_PER_MICROSECOND: u64 = 1_000;
+
+/// Converts virtual time to trace-export microseconds under the nominal
+/// 1 GHz clock. Fractional so sub-microsecond events keep their order.
+pub fn cycles_to_trace_micros(cycles: Cycles) -> f64 {
+    cycles as f64 / NOMINAL_CYCLES_PER_MICROSECOND as f64
+}
