@@ -49,6 +49,10 @@ pub fn print_usage() {
          \x20 inspect  Seer's learned state --benchmark B --threads N [--txs N] [--seed N]\n\
          \x20 explain  decision history     --benchmark B --policy P --pair X,Y\n\
          \x20          for one block pair   [--threads N] [--seed N] [--txs N]\n\
+         \x20 scenario list                 built-in disturbance scenarios\n\
+         \x20 scenario run                  [--name S | --spec F.json] [--policy P]\n\
+         \x20          recovery scoring     [--seed N] [--jobs N] [--json true]\n\
+         \x20                               [--trace F.jsonl]\n\
          \n\
          Simulated machine: 4 physical cores x 2 hyper-threads (the paper's\n\
          Haswell Xeon E3-1275); all results are in simulated cycles."
@@ -430,6 +434,174 @@ pub fn explain(args: &Args) -> Result<(), ParseError> {
     Ok(())
 }
 
+/// `seer scenario list`.
+pub fn scenario_list() {
+    println!("built-in scenarios (4 threads, 100k-cycle scoring window):");
+    for spec in seer_scenario::library::all() {
+        println!(
+            "  {:<16} {:<14} {} phase shift(s), {} churn event(s), {} fault(s)",
+            spec.name,
+            spec.benchmark.name(),
+            spec.phases.len() - 1,
+            spec.churn.len(),
+            spec.faults.len(),
+        );
+    }
+    println!(
+        "\nrun one with `seer scenario run --name NAME`, all with `seer scenario run`,\n\
+         or a custom JSON spec with `seer scenario run --spec FILE.json`."
+    );
+}
+
+/// Satellite behaviour: `seer scenario` argument errors that name the
+/// wrong scenario (typo, stale script) or hand over a malformed spec warn
+/// once per process and list what *is* known, instead of panicking — a
+/// sweep driving the CLI should keep going past one bad item.
+fn warn_scenario(problem: &str) {
+    static WARNED: Once = Once::new();
+    WARNED.call_once(|| {
+        eprintln!("warning: {problem}; skipping");
+        eprintln!(
+            "known scenarios: {}",
+            seer_scenario::library::BUILTIN_NAMES.join(", ")
+        );
+    });
+}
+
+fn print_recovery(outcome: &seer_scenario::ScenarioOutcome) {
+    let r = &outcome.report;
+    println!("{} under {}, seed {}:", r.scenario, r.policy, r.seed);
+    println!(
+        "  commits        {}\n\
+         \x20 makespan       {} cycles ({} window(s) of {})\n\
+         \x20 throughput     {:.6} commits/cycle\n\
+         \x20 steady state   {:+.1}% vs pre-disturbance\n\
+         \x20 recovered      {}",
+        r.commits,
+        r.makespan,
+        outcome.windows.windows().len(),
+        r.window,
+        r.throughput,
+        r.steady_state_delta * 100.0,
+        if r.recovered { "yes" } else { "NO" },
+    );
+    println!("  disturbances:");
+    for s in &r.scores {
+        let reconverge = match s.time_to_reconverge {
+            Some(t) => format!("re-converged in {t}"),
+            None => "never re-converged".to_string(),
+        };
+        let pairs = match s.pairs_stable_at {
+            Some(at) => format!(", pairs stable at {at}"),
+            None => String::new(),
+        };
+        println!(
+            "    {:<16} at {:>8}  depth {:>5.1}%  {reconverge}{pairs}",
+            s.label,
+            s.at,
+            s.regression_depth * 100.0,
+        );
+    }
+    if r.scores.is_empty() {
+        println!("    (none fired before the run ended)");
+    }
+}
+
+/// `seer scenario run`.
+pub fn scenario_run(args: &Args) -> Result<(), ParseError> {
+    use seer_scenario::{
+        library, run_scenario, run_scenario_traced, ScenarioPlan, ScenarioSpec,
+    };
+
+    args.allow_only(&["name", "spec", "policy", "seed", "jobs", "json", "trace"])?;
+    let policy = parse_policy(args.get("policy").unwrap_or("seer"))?;
+    let seed: u64 = args.get_parsed("seed", 0)?;
+    let json: bool = args.get_parsed("json", false)?;
+
+    let spec = match (args.get("name"), args.get("spec")) {
+        (Some(_), Some(_)) => {
+            return Err(ParseError("--name and --spec are mutually exclusive".into()));
+        }
+        (Some(name), None) => match library::builtin(name) {
+            Some(spec) => Some(spec),
+            None => {
+                warn_scenario(&format!("unknown scenario {name:?}"));
+                return Ok(());
+            }
+        },
+        (None, Some(path)) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    warn_scenario(&format!("cannot read scenario spec {path:?} ({e})"));
+                    return Ok(());
+                }
+            };
+            match ScenarioSpec::parse(&text) {
+                Ok(spec) => Some(spec),
+                Err(e) => {
+                    warn_scenario(&format!("malformed scenario spec {path:?}: {e}"));
+                    return Ok(());
+                }
+            }
+        }
+        (None, None) => None,
+    };
+
+    if let Some(spec) = spec {
+        let outcome = match args.get("trace") {
+            Some(path) => {
+                let mut sink = MemoryTraceSink::new();
+                let outcome = run_scenario_traced(&spec, policy, seed, &mut sink);
+                if write_trace_jsonl(path, &sink) {
+                    eprintln!("trace: JSONL written to {path}");
+                }
+                outcome
+            }
+            None => run_scenario(&spec, policy, seed),
+        };
+        if json {
+            use seer_harness::ToJson;
+            println!("{}", outcome.report.to_json().to_string_pretty());
+        } else {
+            print_recovery(&outcome);
+        }
+        return Ok(());
+    }
+
+    // No --name/--spec: the whole built-in library through the memoizing
+    // executor, fanned out over --jobs.
+    if args.get("trace").is_some() {
+        return Err(ParseError("--trace needs a single scenario (--name or --spec)".into()));
+    }
+    let jobs: usize = args.get_parsed("jobs", default_jobs())?;
+    if jobs == 0 {
+        return Err(ParseError("--jobs must be at least 1".into()));
+    }
+    let exec = seer_scenario::ScenarioExecutor::new(jobs);
+    let mut plan = ScenarioPlan::new();
+    for name in library::BUILTIN_NAMES {
+        plan.add(name, policy, seed);
+    }
+    exec.execute(&plan);
+    if json {
+        use seer_harness::{Json, ToJson};
+        let reports: Vec<Json> = library::BUILTIN_NAMES
+            .iter()
+            .map(|name| exec.outcome(name, policy, seed).report.to_json())
+            .collect();
+        println!("{}", Json::Array(reports).to_string_pretty());
+    } else {
+        for (i, name) in library::BUILTIN_NAMES.iter().enumerate() {
+            if i > 0 {
+                println!();
+            }
+            print_recovery(&exec.outcome(name, policy, seed));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -592,6 +764,79 @@ mod tests {
         assert!(explain(&a).is_err());
         let a = args(&["explain", "--pair", "0,1", "--threads", "9"]);
         assert!(explain(&a).is_err());
+    }
+
+    #[test]
+    fn scenario_run_executes_one_builtin_with_json_and_trace() {
+        let dir = std::env::temp_dir().join("seer-cli-scenario-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("scenario.jsonl");
+        let a = args(&[
+            "scenario-run",
+            "--name",
+            "stats-amnesia",
+            "--json",
+            "true",
+            "--trace",
+            jsonl.to_str().unwrap(),
+        ]);
+        scenario_run(&a).expect("built-in scenario should run");
+        let trace = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(trace.lines().next().unwrap().starts_with('{'));
+    }
+
+    #[test]
+    fn scenario_run_accepts_a_spec_file() {
+        let dir = std::env::temp_dir().join("seer-cli-scenario-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.json");
+        std::fs::write(
+            &path,
+            r#"{"name":"tiny","benchmark":"ssca2","threads":2,"scale":0.08,
+               "window":50000,"faults":[{"at":60000,"kind":"wipe-stats"}]}"#,
+        )
+        .unwrap();
+        let a = args(&["scenario-run", "--spec", path.to_str().unwrap()]);
+        scenario_run(&a).expect("custom spec should run");
+    }
+
+    #[test]
+    fn scenario_run_warns_instead_of_panicking_on_bad_input() {
+        // Unknown name: warn-once + list of known scenarios, exit clean.
+        let a = args(&["scenario-run", "--name", "meteor-strike"]);
+        scenario_run(&a).expect("unknown scenario name must not panic");
+        scenario_run(&a).expect("second call hits the Once, still clean");
+
+        // Malformed spec file: same treatment.
+        let dir = std::env::temp_dir().join("seer-cli-scenario-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.json");
+        std::fs::write(&path, "{\"name\": 42").unwrap();
+        let a = args(&["scenario-run", "--spec", path.to_str().unwrap()]);
+        scenario_run(&a).expect("malformed spec must not panic");
+
+        // Unreadable spec path too.
+        let a = args(&["scenario-run", "--spec", "/no/such/spec.json"]);
+        scenario_run(&a).expect("missing spec file must not panic");
+    }
+
+    #[test]
+    fn scenario_run_validates_option_combinations() {
+        let a = args(&["scenario-run", "--name", "phase-flip", "--spec", "x.json"]);
+        assert!(scenario_run(&a).is_err(), "--name and --spec are exclusive");
+        let a = args(&["scenario-run", "--trace", "x.jsonl"]);
+        assert!(scenario_run(&a).is_err(), "--trace needs a single scenario");
+        let a = args(&["scenario-run", "--jobs", "0"]);
+        assert!(scenario_run(&a).is_err());
+        let a = args(&["scenario-run", "--bogus", "1"]);
+        assert!(scenario_run(&a).is_err());
+    }
+
+    #[test]
+    fn scenario_list_prints_every_builtin() {
+        // Smoke: must not panic, and the library must be non-empty.
+        scenario_list();
+        assert!(!seer_scenario::library::BUILTIN_NAMES.is_empty());
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! seer sweep  --benchmark vacation-high [--policies hle,rtm,scm,seer] [--max-threads 8]
 //! seer inspect --benchmark intruder --threads 8 [--txs N]   # Seer's learned state
 //! seer explain --benchmark genome --policy seer --pair 0,2  # decision history of one pair
+//! seer scenario list                                        # built-in disturbance scenarios
+//! seer scenario run [--name churn-storm | --spec F.json] [--policy P] [--seed N]
+//!                   [--jobs N] [--json true] [--trace F.jsonl]
 //! ```
 
 mod args;
@@ -26,11 +29,23 @@ fn main() {
     std::process::exit(code);
 }
 
-fn run(raw: Vec<String>) -> Result<(), String> {
+/// Folds the two-word `scenario <action>` form into a single
+/// `scenario-<action>` command token, keeping the one-positional grammar.
+fn fold_scenario_command(raw: &mut Vec<String>) {
+    if raw.first().map(String::as_str) == Some("scenario")
+        && raw.get(1).is_some_and(|a| !a.starts_with('-'))
+    {
+        let action = raw.remove(1);
+        raw[0] = format!("scenario-{action}");
+    }
+}
+
+fn run(mut raw: Vec<String>) -> Result<(), String> {
     if raw.is_empty() {
         commands::print_usage();
         return Ok(());
     }
+    fold_scenario_command(&mut raw);
     let args = Args::parse(raw).map_err(|e| e.to_string())?;
     if args.wants_help() || args.command == "help" {
         commands::print_usage();
@@ -46,6 +61,36 @@ fn run(raw: Vec<String>) -> Result<(), String> {
         "sweep" => commands::sweep(&args).map_err(|e| e.to_string()),
         "inspect" => commands::inspect(&args).map_err(|e| e.to_string()),
         "explain" => commands::explain(&args).map_err(|e| e.to_string()),
+        "scenario-list" => {
+            args.allow_only(&[]).map_err(|e| e.to_string())?;
+            commands::scenario_list();
+            Ok(())
+        }
+        "scenario-run" => commands::scenario_run(&args).map_err(|e| e.to_string()),
+        "scenario" => Err("scenario needs an action: `seer scenario run` or `seer scenario list`".into()),
         other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fold_scenario_command;
+
+    fn fold(parts: &[&str]) -> Vec<String> {
+        let mut raw: Vec<String> = parts.iter().map(|s| s.to_string()).collect();
+        fold_scenario_command(&mut raw);
+        raw
+    }
+
+    #[test]
+    fn scenario_actions_fold_into_one_command_token() {
+        assert_eq!(fold(&["scenario", "run", "--seed", "1"]), ["scenario-run", "--seed", "1"]);
+        assert_eq!(fold(&["scenario", "list"]), ["scenario-list"]);
+        // No action (or an option) after `scenario`: left for `run` to report.
+        assert_eq!(fold(&["scenario"]), ["scenario"]);
+        assert_eq!(fold(&["scenario", "--help"]), ["scenario", "--help"]);
+        // Other commands untouched.
+        assert_eq!(fold(&["run", "--seed", "1"]), ["run", "--seed", "1"]);
+        assert_eq!(fold(&[]), Vec::<String>::new());
     }
 }

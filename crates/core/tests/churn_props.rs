@@ -1,0 +1,158 @@
+//! Thread-churn properties (scenario engine, DESIGN.md §11): a thread
+//! that parks mid-run must be invisible to Seer's shared structures — its
+//! cleared `activeTxs` slot never surfaces in a scan, and the statistics
+//! merge is a pure function of the per-thread matrices, indifferent to
+//! merge order, re-merging, or padding with deregistered (zeroed) slots.
+
+use proptest::prelude::*;
+use seer::active::ActiveTxs;
+use seer::stats::{MergedStats, ThreadStats};
+
+const BLOCKS: usize = 4;
+
+/// One step of a churn interleaving, encoded as plain integers so the
+/// strategy stays a simple tuple vector.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `register_commit` / `register_abort` on a thread (if unparked).
+    Register { thread: usize, block: usize, commit: bool, partner: usize },
+    /// Park: clear the announcement slot, freeze the private stats.
+    Park(usize),
+    /// Unpark: the thread announces again and resumes registering.
+    Unpark { thread: usize, block: usize },
+}
+
+fn arb_op(threads: usize) -> impl Strategy<Value = Op> {
+    (0usize..6, 0usize..threads, 0usize..BLOCKS, 0usize..BLOCKS).prop_map(
+        |(tag, thread, block, partner)| match tag {
+            0 => Op::Park(thread),
+            1 => Op::Unpark { thread, block },
+            t => Op::Register {
+                thread,
+                block,
+                commit: t % 2 == 0,
+                partner,
+            },
+        },
+    )
+}
+
+/// Replays `ops` over `threads` slots, maintaining park state, and checks
+/// the scan/merge invariants after every step.
+fn replay(threads: usize, ops: &[Op]) -> (Vec<ThreadStats>, ActiveTxs, Vec<bool>) {
+    let mut stats: Vec<ThreadStats> = (0..threads).map(|_| ThreadStats::new(BLOCKS)).collect();
+    let mut active = ActiveTxs::new(threads);
+    let mut parked = vec![false; threads];
+    for &op in ops {
+        match op {
+            Op::Park(t) => {
+                parked[t] = true;
+                active.clear(t);
+            }
+            Op::Unpark { thread, block } => {
+                parked[thread] = false;
+                active.announce(thread, block);
+            }
+            Op::Register { thread, block, commit, partner } => {
+                if parked[thread] {
+                    continue;
+                }
+                active.announce(thread, block);
+                let concurrent: Vec<usize> = active.scan_others(thread).collect();
+                if commit {
+                    stats[thread].register_commit(block, concurrent.into_iter());
+                } else {
+                    stats[thread].register_abort(block, concurrent.into_iter());
+                }
+                let _ = partner;
+            }
+        }
+    }
+    (stats, active, parked)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A parked thread's slot is ignored by the activeTxs scan: no scan
+    /// ever yields a block for a parked thread or for the scanner itself,
+    /// and the scan agrees with a by-hand reference over the slots.
+    #[test]
+    fn parked_slots_never_surface_in_scans(
+        threads in 2usize..8,
+        ops in prop::collection::vec(arb_op(8), 1..60),
+    ) {
+        let ops: Vec<Op> = ops
+            .into_iter()
+            .map(|op| match op {
+                Op::Park(t) => Op::Park(t % threads),
+                Op::Unpark { thread, block } => Op::Unpark { thread: thread % threads, block },
+                Op::Register { thread, block, commit, partner } => {
+                    Op::Register { thread: thread % threads, block, commit, partner }
+                }
+            })
+            .collect();
+        let (_, active, parked) = replay(threads, &ops);
+        for (t, &is_parked) in parked.iter().enumerate() {
+            prop_assert!(
+                !is_parked || active.get(t).is_none(),
+                "thread {t} parked but still announced"
+            );
+        }
+        for scanner in 0..threads {
+            let seen: Vec<usize> = active.scan_others(scanner).collect();
+            let reference: Vec<usize> = (0..threads)
+                .filter(|&t| t != scanner && !parked[t])
+                .filter_map(|t| active.get(t))
+                .collect();
+            prop_assert_eq!(seen, reference, "scanner {}", scanner);
+        }
+    }
+
+    /// Churn never corrupts the merged digest: the merge is order-blind,
+    /// idempotent under re-merging, and padding with a deregistered
+    /// thread's zeroed matrices is a no-op.
+    #[test]
+    fn merged_digest_is_a_pure_function_of_thread_stats(
+        threads in 2usize..8,
+        ops in prop::collection::vec(arb_op(8), 1..60),
+    ) {
+        let ops: Vec<Op> = ops
+            .into_iter()
+            .map(|op| match op {
+                Op::Park(t) => Op::Park(t % threads),
+                Op::Unpark { thread, block } => Op::Unpark { thread: thread % threads, block },
+                Op::Register { thread, block, commit, partner } => {
+                    Op::Register { thread: thread % threads, block, commit, partner }
+                }
+            })
+            .collect();
+        let (stats, _, _) = replay(threads, &ops);
+
+        let mut forward = MergedStats::new(BLOCKS);
+        forward.merge_from(stats.iter());
+        let digest = forward.digest();
+
+        // Order-blind: merging the per-thread matrices reversed.
+        let mut backward = MergedStats::new(BLOCKS);
+        backward.merge_from(stats.iter().rev());
+        prop_assert_eq!(backward.digest(), digest);
+
+        // Idempotent: a re-merge reads the same inputs, not stale sums.
+        forward.merge_from(stats.iter());
+        prop_assert_eq!(forward.digest(), digest);
+
+        // A deregistered thread contributes a zeroed matrix — padding the
+        // merge with one (or several) must not move the digest.
+        let ghost = ThreadStats::new(BLOCKS);
+        let mut padded = MergedStats::new(BLOCKS);
+        padded.merge_from(stats.iter().chain([&ghost, &ghost]));
+        prop_assert_eq!(padded.digest(), digest);
+
+        // And the totals agree with an independent scalar sum.
+        let expected: u64 = (0..BLOCKS)
+            .map(|x| stats.iter().map(|s| s.executions(x)).sum::<u64>())
+            .sum();
+        prop_assert_eq!(forward.total_executions(), expected);
+    }
+}

@@ -120,6 +120,10 @@ pub struct HtmMachine {
     topo: Topology,
     cfg: HtmConfig,
     slots: Vec<TxSlot>,
+    /// Scenario capacity-pressure override: `(ways, read_lines)` clamps
+    /// applied on top of the configured geometry (`None` on each axis =
+    /// the configured budget). Set by [`HtmMachine::set_capacity_override`].
+    capacity_override: (Option<usize>, Option<usize>),
 }
 
 impl HtmMachine {
@@ -128,7 +132,47 @@ impl HtmMachine {
         let slots = (0..topo.logical_cpus())
             .map(|_| TxSlot::new(cfg.write_sets))
             .collect();
-        Self { topo, cfg, slots }
+        Self {
+            topo,
+            cfg,
+            slots,
+            capacity_override: (None, None),
+        }
+    }
+
+    /// Installs (or, with two `None`s, lifts) a capacity-pressure
+    /// override: the effective write-set ways and read-set line budget
+    /// are clamped to at most `ways` / `read_lines` until the next call.
+    /// Already-oversized in-flight transactions are not retroactively
+    /// aborted — like real hardware, the shrunken budget bites at their
+    /// next access.
+    pub fn set_capacity_override(&mut self, ways: Option<usize>, read_lines: Option<usize>) {
+        self.capacity_override = (ways, read_lines);
+    }
+
+    /// The capacity-pressure override currently in force.
+    pub fn capacity_override(&self) -> (Option<usize>, Option<usize>) {
+        self.capacity_override
+    }
+
+    /// Effective write-set ways with `co` co-resident transactions, after
+    /// the scenario override clamp.
+    fn clamped_ways(&self, co: usize) -> usize {
+        let ways = self.cfg.effective_ways(co);
+        match self.capacity_override.0 {
+            Some(cap) => ways.min(cap),
+            None => ways,
+        }
+    }
+
+    /// Effective read-set line budget with `co` co-resident transactions,
+    /// after the scenario override clamp.
+    fn clamped_read_lines(&self, co: usize) -> usize {
+        let lines = self.cfg.effective_read_lines(co);
+        match self.capacity_override.1 {
+            Some(cap) => lines.min(cap),
+            None => lines,
+        }
     }
 
     /// The machine's topology.
@@ -173,8 +217,8 @@ impl HtmMachine {
         let mut squeezed = Vec::new();
         if self.cfg.smt_capacity_sharing {
             let co = self.co_resident_txs(thread);
-            let ways = self.cfg.effective_ways(co);
-            let reads = self.cfg.effective_read_lines(co);
+            let ways = self.clamped_ways(co);
+            let reads = self.clamped_read_lines(co);
             let siblings: Vec<ThreadId> =
                 self.topo.siblings(thread).filter(|&s| s != thread).collect();
             for s in siblings {
@@ -221,8 +265,12 @@ impl HtmMachine {
             }
         }
 
-        // 2. Capacity pass: extend our own tracked sets.
+        // 2. Capacity pass: extend our own tracked sets. The budgets are
+        //    computed before the slot borrow so the scenario clamp applies
+        //    here exactly as in `begin`.
         let co = self.co_resident_txs(thread);
+        let ways_budget = self.clamped_ways(co);
+        let read_budget = self.clamped_read_lines(co);
         let slot = &mut self.slots[thread];
         match kind {
             AccessKind::Write => {
@@ -233,7 +281,7 @@ impl HtmMachine {
                     }
                     slot.set_occupancy[set_idx] += 1;
                     slot.max_occupancy = slot.max_occupancy.max(slot.set_occupancy[set_idx]);
-                    if usize::from(slot.set_occupancy[set_idx]) > self.cfg.effective_ways(co) {
+                    if usize::from(slot.set_occupancy[set_idx]) > ways_budget {
                         slot.reset();
                         result.self_abort = Some(AbortCause::WriteCapacity);
                         return result;
@@ -241,9 +289,7 @@ impl HtmMachine {
                 }
             }
             AccessKind::Read => {
-                if slot.read_set.insert(line)
-                    && slot.read_set.len() > self.cfg.effective_read_lines(co)
-                {
+                if slot.read_set.insert(line) && slot.read_set.len() > read_budget {
                     slot.reset();
                     result.self_abort = Some(AbortCause::ReadCapacity);
                     return result;
@@ -600,6 +646,76 @@ mod tests {
         m.begin(2);
         let r = m.access(2, 100, AccessKind::Read);
         assert!(r.self_abort.is_none());
+    }
+
+    #[test]
+    fn capacity_override_shrinks_and_restores_budgets() {
+        let cfg = HtmConfig {
+            write_sets: 1,
+            write_ways: 8,
+            read_lines: 8,
+            ..HtmConfig::default()
+        };
+        let mut m = HtmMachine::new(Topology::new(2, 1), cfg);
+        // Clamped to 2 ways / 3 read lines: the third write overflows.
+        m.set_capacity_override(Some(2), Some(3));
+        m.begin(0);
+        assert!(m.access(0, 0, AccessKind::Write).self_abort.is_none());
+        assert!(m.access(0, 1, AccessKind::Write).self_abort.is_none());
+        let r = m.access(0, 2, AccessKind::Write);
+        assert_eq!(r.self_abort, Some(AbortCause::WriteCapacity));
+        // Read budget clamps independently.
+        m.begin(0);
+        for l in 10..13u64 {
+            assert!(m.access(0, l, AccessKind::Read).self_abort.is_none());
+        }
+        let r = m.access(0, 13, AccessKind::Read);
+        assert_eq!(r.self_abort, Some(AbortCause::ReadCapacity));
+        // Lifting the override restores the configured geometry.
+        m.set_capacity_override(None, None);
+        m.begin(0);
+        for l in 0..8u64 {
+            assert!(m.access(0, l, AccessKind::Write).self_abort.is_none());
+        }
+        m.commit(0);
+    }
+
+    #[test]
+    fn capacity_override_never_widens_budgets() {
+        let cfg = HtmConfig {
+            read_lines: 3,
+            ..HtmConfig::default()
+        };
+        let mut m = HtmMachine::new(Topology::new(2, 1), cfg);
+        // A clamp above the configured budget is a no-op (min, not set).
+        m.set_capacity_override(None, Some(1000));
+        m.begin(0);
+        for l in 0..3u64 {
+            assert!(m.access(0, l, AccessKind::Read).self_abort.is_none());
+        }
+        let r = m.access(0, 3, AccessKind::Read);
+        assert_eq!(r.self_abort, Some(AbortCause::ReadCapacity));
+    }
+
+    #[test]
+    fn capacity_override_squeezes_at_sibling_begin() {
+        let cfg = HtmConfig {
+            write_sets: 1,
+            write_ways: 8,
+            ..HtmConfig::default()
+        };
+        let mut m = HtmMachine::new(Topology::new(1, 2), cfg);
+        m.begin(0);
+        for l in 0..3u64 {
+            assert!(m.access(0, l, AccessKind::Write).self_abort.is_none());
+        }
+        // Override lands mid-transaction: occupancy 3 > clamp 2, but the
+        // clamp only bites at the next budget check — here the sibling's
+        // begin-time squeeze.
+        m.set_capacity_override(Some(2), None);
+        assert!(m.in_tx(0));
+        let squeezed = m.begin(1);
+        assert_eq!(squeezed, vec![(0, AbortCause::WriteCapacity)]);
     }
 
     #[test]

@@ -25,10 +25,15 @@ pub mod synthetic;
 pub mod trace;
 pub mod workload;
 
-pub use driver::{run, run_traced, DriverConfig};
+pub use driver::{run, run_traced, Directive, DriverConfig, TimedDirective};
 pub use locks::{LockBank, LockId};
-pub use metrics::{AbortCounts, ConflictGroundTruth, ModeCounts, RunMetrics, TxMode};
-pub use scheduler::{AbortDecision, Gate, HookPoint, NullScheduler, SchedEnv, Scheduler};
+pub use metrics::{
+    AbortCounts, ConflictGroundTruth, MetricsWindow, ModeCounts, RunMetrics, TxMode,
+    WindowedMetrics,
+};
+pub use scheduler::{
+    AbortDecision, Gate, HookPoint, NullScheduler, SchedEnv, SchedFault, Scheduler,
+};
 pub use trace::{
     AbortCause, InferenceTrace, LifecycleEvent, MemoryTraceSink, NullTraceSink, PairDecision,
     RowTrace, TraceSink, Verdict,

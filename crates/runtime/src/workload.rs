@@ -80,6 +80,11 @@ pub trait Workload {
 
     /// Applies the logical effects of `req` committing.
     fn commit(&mut self, _thread: ThreadId, _req: &TxRequest, _rng: &mut SimRng) {}
+
+    /// A scenario phase boundary was crossed (see `crates/scenario`):
+    /// `phase` is the 0-based index into the scenario's phase list. Plain
+    /// stationary workloads ignore it — the default is a no-op.
+    fn on_phase(&mut self, _phase: usize) {}
 }
 
 #[cfg(test)]

@@ -1,0 +1,176 @@
+//! Schema checker for RecoveryReport JSON (CI gate).
+//!
+//! Validates the output of `seer scenario run --json true` — a single
+//! report object or an array of them — against the schema documented in
+//! DESIGN.md §11: required fields with the right JSON types, finite
+//! numbers, per-score consistency (a re-convergence time exists exactly
+//! when a re-convergence window was found, the regression depth matches
+//! the baseline/min throughputs), and the report-level `recovered` verdict
+//! agreeing with its scores. Exits non-zero on the first violation; on
+//! success prints a per-file summary.
+//!
+//! Usage: `scenario_check <reports.json>...`
+
+use std::process::ExitCode;
+
+use seer_harness::Json;
+
+fn req_u64(rec: &Json, name: &str) -> Result<u64, String> {
+    rec.get(name)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("field {name:?} missing or not an unsigned integer"))
+}
+
+fn req_finite(rec: &Json, name: &str) -> Result<f64, String> {
+    let v = rec
+        .get(name)
+        .and_then(|v| v.as_f64())
+        .ok_or_else(|| format!("field {name:?} missing or not a number"))?;
+    if v.is_finite() {
+        Ok(v)
+    } else {
+        Err(format!("field {name:?} is not finite"))
+    }
+}
+
+fn req_str<'a>(rec: &'a Json, name: &str) -> Result<&'a str, String> {
+    let s = rec
+        .get(name)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("field {name:?} missing or not a string"))?;
+    if s.is_empty() {
+        return Err(format!("field {name:?} is empty"));
+    }
+    Ok(s)
+}
+
+fn opt_u64(rec: &Json, name: &str) -> Result<Option<u64>, String> {
+    match rec.get(name) {
+        None => Err(format!("field {name:?} missing")),
+        Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field {name:?} is neither null nor an unsigned integer")),
+    }
+}
+
+fn check_score(score: &Json, makespan: u64) -> Result<bool, String> {
+    let label = req_str(score, "label")?;
+    let at = req_u64(score, "at")?;
+    if at >= makespan {
+        return Err(format!("score {label:?} at {at} is past the makespan {makespan}"));
+    }
+    let baseline = req_finite(score, "baseline_throughput")?;
+    let min = req_finite(score, "min_throughput")?;
+    let depth = req_finite(score, "regression_depth")?;
+    if baseline < 0.0 || min < 0.0 {
+        return Err(format!("score {label:?} has a negative throughput"));
+    }
+    if !(0.0..=1.0).contains(&depth) {
+        return Err(format!("score {label:?} regression_depth {depth} outside [0, 1]"));
+    }
+    if baseline > 0.0 {
+        let expected = (1.0 - min / baseline).max(0.0);
+        if (depth - expected).abs() > 1e-9 {
+            return Err(format!(
+                "score {label:?} regression_depth {depth} inconsistent with \
+                 baseline {baseline} / min {min} (expected {expected})"
+            ));
+        }
+    }
+    let reconverged_at = opt_u64(score, "reconverged_at")?;
+    let ttr = opt_u64(score, "time_to_reconverge")?;
+    if reconverged_at.is_some() != ttr.is_some() {
+        return Err(format!(
+            "score {label:?}: reconverged_at and time_to_reconverge must be null together"
+        ));
+    }
+    if let (Some(end), Some(t)) = (reconverged_at, ttr) {
+        if end < at || end - at != t {
+            return Err(format!(
+                "score {label:?}: time_to_reconverge {t} != reconverged_at {end} - at {at}"
+            ));
+        }
+    }
+    opt_u64(score, "pairs_stable_at")?;
+    Ok(baseline > 0.0 && reconverged_at.is_some())
+}
+
+fn check_report(rec: &Json) -> Result<(String, usize), String> {
+    let scenario = req_str(rec, "scenario")?.to_string();
+    req_str(rec, "policy")?;
+    req_u64(rec, "seed")?;
+    let window = req_u64(rec, "window")?;
+    if window == 0 {
+        return Err("field \"window\" must be positive".into());
+    }
+    let makespan = req_u64(rec, "makespan")?;
+    req_u64(rec, "commits")?;
+    req_u64(rec, "trace_hash")?;
+    let throughput = req_finite(rec, "throughput")?;
+    if throughput < 0.0 {
+        return Err("field \"throughput\" is negative".into());
+    }
+    req_finite(rec, "steady_state_delta")?;
+    let recovered = match rec.get("recovered") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err("field \"recovered\" missing or not a bool".into()),
+    };
+    let scores = rec
+        .get("scores")
+        .and_then(|s| s.as_array())
+        .ok_or("field \"scores\" missing or not an array")?;
+    let mut all_scored_recovered = true;
+    for score in scores {
+        let scoreable_and_reconverged =
+            check_score(score, makespan).map_err(|e| format!("{scenario}: {e}"))?;
+        let baseline = score.get("baseline_throughput").and_then(|v| v.as_f64());
+        if baseline.is_some_and(|b| b > 0.0) && !scoreable_and_reconverged {
+            all_scored_recovered = false;
+        }
+    }
+    if recovered != all_scored_recovered {
+        return Err(format!(
+            "{scenario}: \"recovered\" = {recovered} disagrees with the scores"
+        ));
+    }
+    Ok((scenario, scores.len()))
+}
+
+fn check_file(path: &str) -> Result<(), String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
+    let json = Json::parse(&content).map_err(|e| format!("{path}: not valid JSON: {e}"))?;
+    let reports: Vec<&Json> = match &json {
+        Json::Array(items) => items.iter().collect(),
+        other => vec![other],
+    };
+    if reports.is_empty() {
+        return Err(format!("{path}: no reports"));
+    }
+    let mut summaries = Vec::new();
+    for rec in &reports {
+        summaries.push(check_report(rec).map_err(|e| format!("{path}: {e}"))?);
+    }
+    println!("scenario_check: {path}: {} report(s) OK", reports.len());
+    for (scenario, scores) in summaries {
+        println!("  {scenario:<16} {scores} score(s)");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: scenario_check <reports.json>...");
+        return ExitCode::FAILURE;
+    }
+    for path in &paths {
+        if let Err(e) = check_file(path) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

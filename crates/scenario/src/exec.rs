@@ -1,0 +1,224 @@
+//! The parallel, memoizing scenario executor.
+//!
+//! Mirrors the harness's `Plan`/`CellExecutor` pattern (DESIGN.md §9) at
+//! scenario granularity: work items are `(scenario, policy, seed)`
+//! coordinates, deduplicated at plan-build time, memoized for the
+//! executor's lifetime, and fanned out over the harness's `parallel_map`.
+//! Every scenario run is an independent deterministic simulation, so
+//! parallel execution is bit-identical to serial — the conformance suite's
+//! scenario fixtures pin exactly that.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use seer_harness::{parallel_map, PolicyKind};
+
+use crate::library;
+use crate::runner::{run_scenario, ScenarioOutcome};
+use crate::spec::ScenarioSpec;
+
+/// The memoization key: every coordinate a scenario outcome depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ScenarioKey {
+    /// Built-in scenario name (resolved through [`library::builtin`]).
+    pub scenario: String,
+    /// Scheduler policy.
+    pub policy: PolicyKind,
+    /// Harness seed.
+    pub seed: u64,
+}
+
+/// A deduplicated set of scenario work items.
+#[derive(Debug, Default, Clone)]
+pub struct ScenarioPlan {
+    items: Vec<ScenarioKey>,
+    seen: HashSet<ScenarioKey>,
+}
+
+impl ScenarioPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one work item; returns `true` if it was new.
+    pub fn add(&mut self, scenario: &str, policy: PolicyKind, seed: u64) -> bool {
+        let key = ScenarioKey {
+            scenario: scenario.to_string(),
+            policy,
+            seed,
+        };
+        let fresh = self.seen.insert(key.clone());
+        if fresh {
+            self.items.push(key);
+        }
+        fresh
+    }
+
+    /// Adds the full `scenarios × policies × seeds` grid.
+    pub fn add_grid(&mut self, scenarios: &[&str], policies: &[PolicyKind], seeds: u64) {
+        for &scenario in scenarios {
+            for &policy in policies {
+                for seed in 0..seeds {
+                    self.add(scenario, policy, seed);
+                }
+            }
+        }
+    }
+
+    /// Number of unique work items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the plan holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The unique items, in insertion order.
+    pub fn items(&self) -> &[ScenarioKey] {
+        &self.items
+    }
+}
+
+/// Parallel, memoizing executor over the built-in scenario library.
+pub struct ScenarioExecutor {
+    jobs: usize,
+    cache: Mutex<HashMap<ScenarioKey, ScenarioOutcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScenarioExecutor {
+    /// An executor fanning uncached work out across `jobs` OS threads.
+    pub fn new(jobs: usize) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Runs every not-yet-cached item of `plan`.
+    ///
+    /// # Panics
+    /// If an item names a scenario the library does not contain (the CLI
+    /// validates names before building plans).
+    pub fn execute(&self, plan: &ScenarioPlan) {
+        let todo: Vec<ScenarioKey> = {
+            let cache = self.cache.lock().expect("scenario cache poisoned");
+            plan.items()
+                .iter()
+                .filter(|key| !cache.contains_key(key))
+                .cloned()
+                .collect()
+        };
+        self.hits
+            .fetch_add((plan.len() - todo.len()) as u64, Ordering::Relaxed);
+        if todo.is_empty() {
+            return;
+        }
+        self.misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
+        let specs: Vec<(ScenarioKey, ScenarioSpec)> = todo
+            .into_iter()
+            .map(|key| {
+                let spec = library::builtin(&key.scenario)
+                    .unwrap_or_else(|| panic!("unknown scenario {:?}", key.scenario));
+                (key, spec)
+            })
+            .collect();
+        let results = parallel_map(&specs, self.jobs, |(key, spec)| {
+            run_scenario(spec, key.policy, key.seed)
+        });
+        let mut cache = self.cache.lock().expect("scenario cache poisoned");
+        for ((key, _), outcome) in specs.into_iter().zip(results) {
+            cache.insert(key, outcome);
+        }
+    }
+
+    /// The outcome of one work item, running it on a cache miss.
+    pub fn outcome(&self, scenario: &str, policy: PolicyKind, seed: u64) -> ScenarioOutcome {
+        let key = ScenarioKey {
+            scenario: scenario.to_string(),
+            policy,
+            seed,
+        };
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("scenario cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let spec = library::builtin(scenario)
+            .unwrap_or_else(|| panic!("unknown scenario {scenario:?}"));
+        let outcome = run_scenario(&spec, policy, seed);
+        self.cache
+            .lock()
+            .expect("scenario cache poisoned")
+            .insert(key, outcome.clone());
+        outcome
+    }
+
+    /// Cache reads served without simulating.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Scenario simulations actually performed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for ScenarioExecutor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioExecutor")
+            .field("jobs", &self.jobs)
+            .field("cached", &self.cache.lock().map(|c| c.len()).unwrap_or(0))
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_deduplicates() {
+        let mut plan = ScenarioPlan::new();
+        assert!(plan.is_empty());
+        assert!(plan.add("stats-amnesia", PolicyKind::Seer, 0));
+        assert!(!plan.add("stats-amnesia", PolicyKind::Seer, 0));
+        plan.add_grid(&["stats-amnesia", "churn-storm"], &[PolicyKind::Seer], 2);
+        assert_eq!(plan.len(), 4);
+    }
+
+    #[test]
+    fn executor_memoizes_and_parallel_equals_serial() {
+        let mut plan = ScenarioPlan::new();
+        plan.add_grid(&["churn-storm"], &[PolicyKind::Rtm, PolicyKind::Seer], 1);
+        let serial = ScenarioExecutor::new(1);
+        serial.execute(&plan);
+        assert_eq!(serial.misses(), 2);
+        serial.execute(&plan);
+        assert_eq!(serial.misses(), 2, "re-execution hits the cache");
+        assert_eq!(serial.hits(), 2);
+        let parallel = ScenarioExecutor::new(4);
+        parallel.execute(&plan);
+        for key in plan.items() {
+            let a = serial.outcome(&key.scenario, key.policy, key.seed);
+            let b = parallel.outcome(&key.scenario, key.policy, key.seed);
+            assert_eq!(a.metrics.trace_hash, b.metrics.trace_hash, "{key:?}");
+            assert_eq!(a.report, b.report, "{key:?}");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Scenario execution: spec → driver run → recovery report.
+//!
+//! A scenario run is the ordinary traced harness run plus a compiled
+//! directive script: the workload is a [`ScenarioWorkload`], the driver
+//! config is the paper machine with `cfg.script = spec.compile()`, and the
+//! seed goes through the harness's `sim_seed` derivation like every other
+//! simulation in the workspace. Tracing is always collected through a
+//! `MemoryTraceSink` — per the sink-not-flag discipline this cannot change
+//! the event schedule, so the reported `trace_hash` is identical to an
+//! untraced run of the same coordinates.
+
+use seer_harness::{sim_seed, PolicyKind};
+use seer_runtime::{
+    run_traced, DriverConfig, MemoryTraceSink, RunMetrics, Scheduler, WindowedMetrics, Workload,
+};
+
+use crate::report::RecoveryReport;
+use crate::spec::ScenarioSpec;
+use crate::workload::ScenarioWorkload;
+
+/// Everything one scenario run produces.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Whole-run aggregate metrics (including `trace_hash`).
+    pub metrics: RunMetrics,
+    /// The windowed slice of the run the report was scored on.
+    pub windows: WindowedMetrics,
+    /// The recovery verdict.
+    pub report: RecoveryReport,
+}
+
+/// Runs `spec` under a named harness policy.
+///
+/// # Panics
+/// If the spec fails [`ScenarioSpec::validate`] or the run trips the
+/// event safety valve.
+pub fn run_scenario(spec: &ScenarioSpec, policy: PolicyKind, seed: u64) -> ScenarioOutcome {
+    run_scenario_traced(spec, policy, seed, &mut MemoryTraceSink::new())
+}
+
+/// Like [`run_scenario`], but records the run into a caller-owned sink so
+/// the lifecycle/inference streams can be exported afterwards (the CLI's
+/// `seer scenario run --trace`). Per the sink-not-flag discipline the
+/// outcome is bit-identical to [`run_scenario`].
+pub fn run_scenario_traced(
+    spec: &ScenarioSpec,
+    policy: PolicyKind,
+    seed: u64,
+    sink: &mut MemoryTraceSink,
+) -> ScenarioOutcome {
+    let workload = ScenarioWorkload::new(spec);
+    let mut sched = policy.build(spec.threads, workload.num_blocks());
+    run_with(spec, workload, sched.as_mut(), policy.name(), seed, sink)
+}
+
+/// Runs `spec` under an explicit scheduler (e.g. the conformance layer's
+/// reference SGL-only scheduler); `policy_label` names it in the report.
+pub fn run_scenario_with(
+    spec: &ScenarioSpec,
+    sched: &mut dyn Scheduler,
+    policy_label: &str,
+    seed: u64,
+) -> ScenarioOutcome {
+    run_with(
+        spec,
+        ScenarioWorkload::new(spec),
+        sched,
+        policy_label,
+        seed,
+        &mut MemoryTraceSink::new(),
+    )
+}
+
+fn run_with(
+    spec: &ScenarioSpec,
+    mut workload: ScenarioWorkload,
+    sched: &mut dyn Scheduler,
+    policy_label: &str,
+    seed: u64,
+    sink: &mut MemoryTraceSink,
+) -> ScenarioOutcome {
+    if let Err(e) = spec.validate() {
+        panic!("invalid scenario {:?}: {e}", spec.name);
+    }
+    let mut cfg = DriverConfig::paper_machine(spec.threads, sim_seed(seed));
+    cfg.script = spec.compile();
+    let metrics = run_traced(&mut workload, sched, &cfg, sink);
+    assert!(
+        !metrics.truncated,
+        "scenario run truncated: {} / {policy_label} seed {seed}",
+        spec.name
+    );
+    let windows = WindowedMetrics::from_lifecycle(&sink.lifecycle, spec.window, metrics.makespan);
+    // Satellite conservation check: the windows must partition the run's
+    // aggregate counters exactly, churn and faults included.
+    let violations = windows.check_partition(&metrics);
+    assert!(
+        violations.is_empty(),
+        "windowed conservation laws violated in {}: {violations:?}",
+        spec.name
+    );
+    let report = RecoveryReport::build(spec, policy_label, seed, &metrics, &windows, &sink.inference);
+    ScenarioOutcome {
+        metrics,
+        windows,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::spec::{FaultKind, FaultSpec};
+    use seer_harness::ToJson;
+    use seer_stamp::Benchmark;
+
+    #[test]
+    fn stationary_scenario_matches_plain_harness_run() {
+        // A no-script scenario over the base benchmark must produce the
+        // same commit total and trace hash as the plain harness runner for
+        // the same (benchmark, policy, threads, seed, scale) coordinates.
+        let spec = ScenarioSpec::stationary("plain", Benchmark::Ssca2, 4, 0.08, 100_000);
+        let outcome = run_scenario(&spec, PolicyKind::Rtm, 0);
+        let plain = seer_harness::run_once(
+            seer_harness::Cell {
+                benchmark: Benchmark::Ssca2,
+                policy: PolicyKind::Rtm,
+                threads: 4,
+            },
+            0,
+            0.08,
+        );
+        assert_eq!(outcome.metrics.commits, plain.commits);
+        assert_eq!(outcome.metrics.trace_hash, plain.trace_hash);
+        assert_eq!(outcome.metrics.makespan, plain.makespan);
+    }
+
+    #[test]
+    fn scenario_replays_bit_identically() {
+        let spec = library::builtin("stats-amnesia").unwrap();
+        let a = run_scenario(&spec, PolicyKind::Seer, 0);
+        let b = run_scenario(&spec, PolicyKind::Seer, 0);
+        assert_eq!(a.metrics.trace_hash, b.metrics.trace_hash);
+        assert_eq!(a.metrics.commits, b.metrics.commits);
+        assert_eq!(a.report, b.report);
+        assert_eq!(
+            a.report.to_json().to_string_compact(),
+            b.report.to_json().to_string_compact()
+        );
+    }
+
+    #[test]
+    fn faults_change_the_schedule_but_not_the_work() {
+        let mut faulty = ScenarioSpec::stationary("f", Benchmark::KmeansHigh, 4, 0.3, 100_000);
+        faulty.faults.push(FaultSpec {
+            at: 150_000,
+            fault: FaultKind::StallLockHolder { cycles: 120_000 },
+        });
+        let clean = ScenarioSpec::stationary("f", Benchmark::KmeansHigh, 4, 0.3, 100_000);
+        let with_fault = run_scenario(&faulty, PolicyKind::Rtm, 1);
+        let without = run_scenario(&clean, PolicyKind::Rtm, 1);
+        assert_eq!(
+            with_fault.metrics.commits, without.metrics.commits,
+            "faults perturb timing, never the amount of work"
+        );
+        assert_ne!(
+            with_fault.metrics.trace_hash, without.metrics.trace_hash,
+            "the stall must actually reschedule events"
+        );
+    }
+
+    #[test]
+    fn seer_reports_pair_stabilization_and_baselines_do_not() {
+        let spec = library::builtin("stats-amnesia").unwrap();
+        let seer = run_scenario(&spec, PolicyKind::Seer, 0);
+        let rtm = run_scenario(&spec, PolicyKind::Rtm, 0);
+        assert!(
+            seer.report.scores.iter().any(|s| s.pairs_stable_at.is_some()),
+            "Seer emits inference rounds: {:?}",
+            seer.report.scores
+        );
+        assert!(
+            rtm.report.scores.iter().all(|s| s.pairs_stable_at.is_none()),
+            "RTM has no inference stream"
+        );
+    }
+}
