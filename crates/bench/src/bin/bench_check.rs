@@ -1,0 +1,92 @@
+//! Schema checker and perf-regression gate for `seer bench` reports (CI).
+//!
+//! Validates a `BENCH_*.json` report against the schema documented in
+//! `DESIGN.md` §12, and — when given a committed baseline — gates it:
+//! per-cell `events`/`trace_hash` must match the baseline exactly
+//! (determinism facts carry no tolerance), and each queue row's
+//! `speedup_vs_heap` may drop at most `--tolerance` (default 0.25) below
+//! the baseline ratio. Absolute events/sec are never gated: they move
+//! with the host CPU, while the in-process speedup ratio does not.
+//!
+//! Usage: `bench_check <report.json> [--baseline BENCH_006.json] [--tolerance 0.25]`
+
+use std::process::ExitCode;
+
+use seer_bench::harness::{compare_reports, validate_report};
+use seer_harness::Json;
+
+const USAGE: &str = "usage: bench_check <report.json> [--baseline FILE] [--tolerance FRACTION]";
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut report_path: Option<&str> = None;
+    let mut baseline_path: Option<&str> = None;
+    let mut tolerance = 0.25f64;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                baseline_path =
+                    Some(it.next().ok_or_else(|| format!("--baseline needs a value\n{USAGE}"))?);
+            }
+            "--tolerance" => {
+                let raw = it.next().ok_or_else(|| format!("--tolerance needs a value\n{USAGE}"))?;
+                tolerance = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .ok_or_else(|| {
+                        format!("--tolerance must be a fraction in [0, 1), got {raw:?}\n{USAGE}")
+                    })?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{USAGE}"));
+            }
+            other => {
+                if report_path.replace(other).is_some() {
+                    return Err(format!("more than one report path given\n{USAGE}"));
+                }
+            }
+        }
+    }
+
+    let report_path = report_path.ok_or_else(|| format!("no report path given\n{USAGE}"))?;
+    let report = load(report_path)?;
+    validate_report(&report).map_err(|e| format!("{report_path}: {e}"))?;
+    println!("{report_path}: schema OK");
+
+    if let Some(baseline_path) = baseline_path {
+        let baseline = load(baseline_path)?;
+        validate_report(&baseline).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let violations = compare_reports(&report, &baseline, tolerance);
+        if !violations.is_empty() {
+            let mut msg = format!(
+                "{report_path}: {} violation(s) vs baseline {baseline_path}:",
+                violations.len()
+            );
+            for v in &violations {
+                msg.push_str("\n  - ");
+                msg.push_str(v);
+            }
+            return Err(msg);
+        }
+        println!("{report_path}: within tolerance {tolerance} of baseline {baseline_path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -26,6 +26,8 @@
 use seer_harness::{run_once_traced, Cell, CellExecutor, HarnessConfig};
 use seer_runtime::{RunMetrics, TraceSink};
 
+pub mod harness;
+
 /// Workload scale factor shared by the simulation benches.
 pub const BENCH_SCALE: f64 = 0.05;
 

@@ -1,4 +1,4 @@
-//! The CLI commands: `list`, `run`, `sweep`, `inspect`, `explain`.
+//! The CLI commands: `list`, `run`, `sweep`, `bench`, `inspect`, `explain`.
 
 use std::sync::Once;
 
@@ -46,6 +46,8 @@ pub fn print_usage() {
          \x20                              [--trace F.jsonl] [--chrome F.json]\n\
          \x20 sweep    thread sweep        --benchmark B [--policies hle,rtm,scm,seer]\n\
          \x20                              [--max-threads N] [--seed N] [--jobs N]\n\
+         \x20 bench    perf measurement    [--mode smoke|full] [--out BENCH_006.json]\n\
+         \x20          (see DESIGN.md §12) [--repeats N] [--jobs N] [--json true]\n\
          \x20 inspect  Seer's learned state --benchmark B --threads N [--txs N] [--seed N]\n\
          \x20 explain  decision history     --benchmark B --policy P --pair X,Y\n\
          \x20          for one block pair   [--threads N] [--seed N] [--txs N]\n\
@@ -167,6 +169,47 @@ pub fn run_one(args: &Args) -> Result<(), ParseError> {
     Ok(())
 }
 
+/// Satellite behaviour: numeric *tuning* options (`--jobs`, `--repeats`)
+/// with an invalid value — unparsable or zero — warn once per process
+/// with the expected form and fall back to the default, instead of
+/// silently defaulting or aborting a script mid-sweep. (Options that pick
+/// *what* runs, like `--mode` or `--threads`, still hard-error: guessing
+/// there would silently measure the wrong thing.)
+fn positive_or_warn(
+    args: &Args,
+    key: &str,
+    default: usize,
+    warned: &'static Once,
+) -> usize {
+    match args.get(key) {
+        None => default,
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                warned.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring invalid --{key} {raw:?} \
+                         (usage: --{key} N, a positive integer); using default {default}"
+                    );
+                });
+                default
+            }
+        },
+    }
+}
+
+/// `--jobs` with warn-once fallback to [`default_jobs`].
+fn jobs_or_warn(args: &Args) -> usize {
+    static WARNED: Once = Once::new();
+    positive_or_warn(args, "jobs", default_jobs(), &WARNED)
+}
+
+/// `--repeats` with warn-once fallback to the mode's default.
+fn repeats_or_warn(args: &Args, default: usize) -> usize {
+    static WARNED: Once = Once::new();
+    positive_or_warn(args, "repeats", default, &WARNED)
+}
+
 /// Scale factor `seer sweep` runs at (a full sweep touches up to 88
 /// cells; half scale keeps it interactive).
 const SWEEP_SCALE: f64 = 0.5;
@@ -177,12 +220,9 @@ pub fn sweep(args: &Args) -> Result<(), ParseError> {
     let benchmark = parse_benchmark(args.get("benchmark").unwrap_or("genome"))?;
     let max_threads: usize = args.get_parsed("max-threads", 8)?;
     let seed: u64 = args.get_parsed("seed", 0)?;
-    let jobs: usize = args.get_parsed("jobs", default_jobs())?;
+    let jobs = jobs_or_warn(args);
     if max_threads == 0 || max_threads > 8 {
         return Err(ParseError("--max-threads must be 1..=8".into()));
-    }
-    if jobs == 0 {
-        return Err(ParseError("--jobs must be at least 1".into()));
     }
     let policies: Vec<PolicyKind> = match args.get("policies") {
         None => PolicyKind::FIGURE3.to_vec(),
@@ -238,6 +278,50 @@ pub fn sweep(args: &Args) -> Result<(), ParseError> {
         }
         println!();
     }
+    Ok(())
+}
+
+/// `seer bench`: the perf-measurement harness (DESIGN.md §12). Runs the
+/// pinned workload matrix and the event-queue microbench, writes the JSON
+/// report to `--out`, and prints a summary (or, with `--json true`, the
+/// full report).
+pub fn bench(args: &Args) -> Result<(), ParseError> {
+    use seer_bench::harness::{run_bench, BenchMode};
+
+    args.allow_only(&["mode", "out", "repeats", "jobs", "json"])?;
+    let mode_raw = args.get("mode").unwrap_or("smoke");
+    let mode = BenchMode::parse(mode_raw).ok_or_else(|| {
+        ParseError(format!("--mode must be \"smoke\" or \"full\", got {mode_raw:?}"))
+    })?;
+    let json: bool = args.get_parsed("json", false)?;
+    let out = args.get("out").unwrap_or("BENCH_006.json");
+    let repeats = repeats_or_warn(args, mode.default_repeats());
+    let jobs = jobs_or_warn(args);
+
+    let report = run_bench(mode, repeats, jobs);
+    report
+        .write(out)
+        .map_err(|e| ParseError(format!("cannot write {out:?}: {e}")))?;
+
+    if json {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        println!("event queue vs reference BinaryHeap ({repeats} repeat(s), best kept):");
+        for q in &report.queue {
+            println!(
+                "  n={:<7} {:>12.0} events/s (heap {:>12.0})  speedup {:.2}x",
+                q.n, q.queue_events_per_sec, q.heap_events_per_sec, q.speedup_vs_heap
+            );
+        }
+        println!("\nworkload matrix ({} mode, scale {}):", mode.name(), mode.scale());
+        for c in &report.cells {
+            println!(
+                "  {:<14} {:<6} {} thread(s)  {:>10} events  {:>12.0} events/s  {:>8.1} ms",
+                c.benchmark, c.policy, c.threads, c.events, c.events_per_sec, c.wall_ms
+            );
+        }
+    }
+    eprintln!("bench: report written to {out}");
     Ok(())
 }
 
@@ -677,8 +761,47 @@ mod tests {
             "2",
         ]);
         sweep(&a).expect("parallel sweep should succeed");
-        let a = args(&["sweep", "--jobs", "0"]);
-        assert!(sweep(&a).is_err());
+        // Invalid --jobs warns once and falls back to the default instead
+        // of erroring out (satellite fix; was a hard error before).
+        let a = args(&[
+            "sweep",
+            "--benchmark",
+            "hashmap-low",
+            "--policies",
+            "rtm",
+            "--max-threads",
+            "1",
+            "--jobs",
+            "0",
+        ]);
+        sweep(&a).expect("invalid --jobs should warn and default, not error");
+    }
+
+    #[test]
+    fn tuning_options_warn_and_default_instead_of_failing() {
+        // Missing → default; valid → parsed; invalid (zero or garbage) →
+        // warn-once + default. The Once means only the first bad value
+        // prints, but the fallback applies every time.
+        assert_eq!(jobs_or_warn(&args(&["bench"])), default_jobs());
+        assert_eq!(jobs_or_warn(&args(&["bench", "--jobs", "3"])), 3);
+        assert_eq!(jobs_or_warn(&args(&["bench", "--jobs", "0"])), default_jobs());
+        assert_eq!(jobs_or_warn(&args(&["bench", "--jobs", "lots"])), default_jobs());
+        assert_eq!(repeats_or_warn(&args(&["bench"]), 2), 2);
+        assert_eq!(repeats_or_warn(&args(&["bench", "--repeats", "5"]), 2), 5);
+        assert_eq!(repeats_or_warn(&args(&["bench", "--repeats", "-1"]), 2), 2);
+        assert_eq!(repeats_or_warn(&args(&["bench", "--repeats", "0"]), 3), 3);
+    }
+
+    #[test]
+    fn bench_command_validates_arguments() {
+        // --mode picks *what* is measured, so an invalid value is a hard
+        // error (unlike the tuning options above).
+        let a = args(&["bench", "--mode", "warp"]);
+        assert!(bench(&a).is_err());
+        let a = args(&["bench", "--bogus", "1"]);
+        assert!(bench(&a).is_err());
+        let a = args(&["bench", "--json", "maybe"]);
+        assert!(bench(&a).is_err());
     }
 
     #[test]

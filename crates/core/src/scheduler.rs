@@ -91,6 +91,10 @@ pub struct Seer {
     /// read back by [`Scheduler::overhead`], which the driver calls right
     /// after the corresponding hook.
     last_event_sampled: bool,
+    /// Reused buffer for the concurrent-blocks scan performed on every
+    /// sampled commit/abort registration — the hottest Seer path, so it
+    /// must not allocate per event.
+    scan_buf: Vec<BlockId>,
 }
 
 impl Seer {
@@ -120,7 +124,19 @@ impl Seer {
             history: Vec::new(),
             skip_inference_rounds: 0,
             last_event_sampled: true,
+            scan_buf: Vec::new(),
         }
+    }
+
+    /// Scans the blocks concurrently announced by other threads into the
+    /// reused `scan_buf` (sorted, deduplicated — see the comment in
+    /// [`Seer::on_abort`] for why registration is per-block, not
+    /// per-instance).
+    fn scan_concurrent(&mut self, thread: ThreadId) {
+        self.scan_buf.clear();
+        self.scan_buf.extend(self.active.scan_others(thread));
+        self.scan_buf.sort_unstable();
+        self.scan_buf.dedup();
     }
 
     /// Convenience constructor with the full (headline) configuration.
@@ -188,7 +204,12 @@ impl Seer {
     /// the same inference code ([`infer_conflict_pairs_traced`]), so the
     /// emitted verdicts are the decisions, not a reconstruction.
     fn update_with_trace(&mut self, trace: Option<(&mut dyn TraceSink, Cycles)>) {
-        self.merged.merge_from(self.per_thread.iter());
+        // `self.merged` is maintained incrementally: every sampled
+        // registration is folded into it alongside the owning thread's
+        // table (`MergedStats::add_commit` / `add_abort`), so an inference
+        // round starts from current matrices without re-summing every
+        // per-thread table. The only operation the dual-write cannot track
+        // is decay, which resyncs explicitly below.
         let pairs = match trace {
             Some((sink, now)) if sink.enabled() => {
                 let mut rows = Vec::with_capacity(self.blocks);
@@ -218,6 +239,10 @@ impl Seer {
                 for t in &mut self.per_thread {
                     t.decay();
                 }
+                // Integer halving does not distribute over the sum, so the
+                // incremental merge cannot mirror decay; rebuild once per
+                // decay (rare) to re-anchor the merged view.
+                self.merged.merge_from(self.per_thread.iter());
             }
         }
     }
@@ -342,10 +367,9 @@ impl Scheduler for Seer {
         // drops whole events, which keeps both ratios unbiased.
         self.last_event_sampled = self.cfg.sampling >= 1.0 || env.rng.chance(self.cfg.sampling);
         if self.last_event_sampled {
-            let mut concurrent: Vec<BlockId> = self.active.scan_others(thread).collect();
-            concurrent.sort_unstable();
-            concurrent.dedup();
-            self.per_thread[thread].register_abort(block, concurrent.into_iter());
+            self.scan_concurrent(thread);
+            self.per_thread[thread].register_abort(block, self.scan_buf.iter().copied());
+            self.merged.add_abort(block, self.scan_buf.iter().copied());
             self.total_execs += 1;
             self.counters.aborts_registered += 1;
         }
@@ -396,10 +420,9 @@ impl Scheduler for Seer {
         // (Alg. 2), deduplicated and sampled like REGISTER-ABORT.
         self.last_event_sampled = self.cfg.sampling >= 1.0 || env.rng.chance(self.cfg.sampling);
         if self.last_event_sampled {
-            let mut concurrent: Vec<BlockId> = self.active.scan_others(thread).collect();
-            concurrent.sort_unstable();
-            concurrent.dedup();
-            self.per_thread[thread].register_commit(block, concurrent.into_iter());
+            self.scan_concurrent(thread);
+            self.per_thread[thread].register_commit(block, self.scan_buf.iter().copied());
+            self.merged.add_commit(block, self.scan_buf.iter().copied());
             self.total_execs += 1;
             self.counters.commits_registered += 1;
         }
@@ -668,6 +691,9 @@ mod tests {
         for _ in 0..40 {
             s.per_thread[0].register_commit(0, [].into_iter());
         }
+        // Fabricated directly into the per-thread table, bypassing the
+        // hooks' incremental dual-write — sync the merged view by hand.
+        s.merged.merge_from(s.per_thread.iter());
         s.total_execs = 100;
         s.force_update();
         assert_eq!(s.lock_table().row(0), &[1]);
@@ -693,6 +719,8 @@ mod tests {
         for _ in 0..40 {
             s.per_thread[0].register_commit(0, [].into_iter());
         }
+        // As above: fabricated stats need an explicit merged-view sync.
+        s.merged.merge_from(s.per_thread.iter());
         s.total_execs = 100;
         let bank = LockBank::new(4, 2);
         let mut rng = SimRng::new(0);
@@ -715,6 +743,44 @@ mod tests {
         assert!(pair.verdict.serialize(), "strong evidence must serialize");
         assert_eq!(s.lock_table().row(0), &[1], "trace agrees with the table");
         assert_eq!(tr.stats_digest, s.merged_stats().digest());
+    }
+
+    #[test]
+    fn incremental_merge_tracks_the_per_thread_tables() {
+        // Drive registrations through the public hooks and check the
+        // incrementally maintained merge equals a from-scratch rebuild —
+        // including across a decay round, which the dual-write cannot
+        // mirror and must resync explicitly.
+        let mut s = Seer::new(
+            SeerConfig {
+                update_period_execs: 3,
+                ..SeerConfig::with_decay(1)
+            },
+            3,
+            4,
+        );
+        let bank = LockBank::new(4, 4);
+        let mut rng = SimRng::new(0);
+        let mut e = env(&bank, &mut rng);
+        s.on_tx_start(0, 1, &mut e);
+        s.on_tx_start(1, 2, &mut e);
+        s.on_tx_start(2, 3, &mut e);
+        s.on_abort(0, 1, XStatus::conflict(), 4, &mut e);
+        s.on_htm_commit(1, 2, &mut e);
+        s.on_abort(2, 3, XStatus::capacity(), 4, &mut e);
+        s.on_htm_commit(0, 1, &mut e);
+        s.on_periodic(&mut e); // due update -> inference + decay
+        assert_eq!(s.counters().updates, 1);
+        s.on_tx_start(1, 0, &mut e);
+        s.on_tx_start(2, 2, &mut e);
+        s.on_abort(1, 0, XStatus::conflict(), 4, &mut e);
+        s.on_htm_commit(2, 2, &mut e);
+        let mut rebuilt = MergedStats::new(4);
+        rebuilt.merge_from(s.per_thread.iter());
+        assert_eq!(rebuilt.commit, s.merged_stats().commit);
+        assert_eq!(rebuilt.abort, s.merged_stats().abort);
+        assert_eq!(rebuilt.executions, s.merged_stats().executions);
+        assert_eq!(rebuilt.digest(), s.merged_stats().digest());
     }
 
     #[test]

@@ -122,6 +122,29 @@ impl MergedStats {
         }
     }
 
+    /// Folds one commit registration directly into the merged matrices —
+    /// the same arithmetic as [`ThreadStats::register_commit`], applied at
+    /// the merged level. Registering every event through both tables keeps
+    /// the merge incrementally up to date, so an inference round starts
+    /// from the current matrices instead of re-summing every per-thread
+    /// table (an `O(threads × blocks²)` scan per round).
+    pub fn add_commit(&mut self, x: BlockId, concurrent: impl Iterator<Item = BlockId>) {
+        self.executions[x] += 1;
+        for y in concurrent {
+            self.commit[x * self.blocks + y] += 1;
+        }
+    }
+
+    /// Folds one abort registration directly into the merged matrices; the
+    /// incremental counterpart of [`ThreadStats::register_abort`]. See
+    /// [`MergedStats::add_commit`].
+    pub fn add_abort(&mut self, x: BlockId, concurrent: impl Iterator<Item = BlockId>) {
+        self.executions[x] += 1;
+        for y in concurrent {
+            self.abort[x * self.blocks + y] += 1;
+        }
+    }
+
     /// Number of atomic blocks.
     pub fn blocks(&self) -> usize {
         self.blocks
@@ -224,6 +247,38 @@ mod tests {
         s.decay();
         s.decay();
         assert_eq!(s.aborts(0, 1), 0, "counters fade to zero");
+    }
+
+    #[test]
+    fn incremental_adds_match_a_full_rebuild() {
+        // Mirror the same event stream into per-thread tables (merged by a
+        // full rebuild) and into an incrementally maintained MergedStats;
+        // both views must be identical down to the digest.
+        let mut threads = [ThreadStats::new(3), ThreadStats::new(3)];
+        let mut incremental = MergedStats::new(3);
+        let events: &[(usize, BlockId, bool, &[BlockId])] = &[
+            (0, 0, false, &[1, 2]),
+            (1, 1, true, &[0]),
+            (0, 2, true, &[]),
+            (1, 0, false, &[2]),
+            (0, 1, false, &[0, 2]),
+            (1, 2, true, &[1]),
+        ];
+        for &(t, x, commit, concurrent) in events {
+            if commit {
+                threads[t].register_commit(x, concurrent.iter().copied());
+                incremental.add_commit(x, concurrent.iter().copied());
+            } else {
+                threads[t].register_abort(x, concurrent.iter().copied());
+                incremental.add_abort(x, concurrent.iter().copied());
+            }
+        }
+        let mut rebuilt = MergedStats::new(3);
+        rebuilt.merge_from(threads.iter());
+        assert_eq!(rebuilt.commit, incremental.commit);
+        assert_eq!(rebuilt.abort, incremental.abort);
+        assert_eq!(rebuilt.executions, incremental.executions);
+        assert_eq!(rebuilt.digest(), incremental.digest());
     }
 
     #[test]

@@ -206,22 +206,38 @@ impl HtmMachine {
     /// are cleared; report them as [`AbortCause::WriteCapacity`] /
     /// [`AbortCause::ReadCapacity`] — the returned pairs carry the cause).
     ///
+    /// Allocating convenience wrapper around [`HtmMachine::begin_into`];
+    /// per-event callers (the DES driver) pass a reusable scratch vector
+    /// to the latter instead.
+    ///
     /// # Panics
     /// If `thread` already has a transaction in flight.
     pub fn begin(&mut self, thread: ThreadId) -> Vec<(ThreadId, AbortCause)> {
+        let mut squeezed = Vec::new();
+        self.begin_into(thread, &mut squeezed);
+        squeezed
+    }
+
+    /// [`HtmMachine::begin`] writing the squeezed siblings into `squeezed`
+    /// (cleared first) instead of allocating a fresh vector.
+    ///
+    /// # Panics
+    /// If `thread` already has a transaction in flight.
+    pub fn begin_into(&mut self, thread: ThreadId, squeezed: &mut Vec<(ThreadId, AbortCause)>) {
         assert!(
             !self.slots[thread].active,
             "thread {thread} nested xbegin (flat nesting not modelled)"
         );
+        squeezed.clear();
         self.slots[thread].active = true;
-        let mut squeezed = Vec::new();
         if self.cfg.smt_capacity_sharing {
             let co = self.co_resident_txs(thread);
             let ways = self.clamped_ways(co);
             let reads = self.clamped_read_lines(co);
-            let siblings: Vec<ThreadId> =
-                self.topo.siblings(thread).filter(|&s| s != thread).collect();
-            for s in siblings {
+            // `Topology` is `Copy`: iterate a copy so the sibling walk
+            // doesn't hold a borrow of `self` (no temporary collect).
+            let topo = self.topo;
+            for s in topo.siblings(thread).filter(|&s| s != thread) {
                 if !self.slots[s].active {
                     continue;
                 }
@@ -234,19 +250,38 @@ impl HtmMachine {
                 }
             }
         }
-        squeezed
     }
 
     /// Feeds a transactional access by `thread` to `line`.
     ///
+    /// Allocating convenience wrapper around [`HtmMachine::access_into`].
+    ///
     /// # Panics
     /// If `thread` has no transaction in flight.
     pub fn access(&mut self, thread: ThreadId, line: LineAddr, kind: AccessKind) -> AccessResult {
+        let mut victims = Vec::new();
+        let self_abort = self.access_into(thread, line, kind, &mut victims);
+        AccessResult { self_abort, victims }
+    }
+
+    /// [`HtmMachine::access`] writing conflict victims into `victims`
+    /// (cleared first) instead of allocating; returns the accessor's own
+    /// abort cause, if it aborted.
+    ///
+    /// # Panics
+    /// If `thread` has no transaction in flight.
+    pub fn access_into(
+        &mut self,
+        thread: ThreadId,
+        line: LineAddr,
+        kind: AccessKind,
+        victims: &mut Vec<ThreadId>,
+    ) -> Option<AbortCause> {
         assert!(
             self.slots[thread].active,
             "thread {thread} transactional access outside a transaction"
         );
-        let mut result = AccessResult::default();
+        victims.clear();
 
         // 1. Conflict pass. Under requester-wins (TSX), this access
         //    invalidates (write) or downgrades (read) the line in every
@@ -254,13 +289,12 @@ impl HtmMachine {
         //    a line another transaction owns kills *this* transaction.
         match self.cfg.conflict_resolution {
             ConflictResolution::RequesterWins => {
-                self.kill_conflicting(thread, line, kind, &mut result.victims);
+                self.kill_conflicting(thread, line, kind, victims);
             }
             ConflictResolution::RequesterAborts => {
                 if self.someone_else_owns(thread, line, kind) {
                     self.slots[thread].reset();
-                    result.self_abort = Some(AbortCause::Conflict);
-                    return result;
+                    return Some(AbortCause::Conflict);
                 }
             }
         }
@@ -283,24 +317,25 @@ impl HtmMachine {
                     slot.max_occupancy = slot.max_occupancy.max(slot.set_occupancy[set_idx]);
                     if usize::from(slot.set_occupancy[set_idx]) > ways_budget {
                         slot.reset();
-                        result.self_abort = Some(AbortCause::WriteCapacity);
-                        return result;
+                        return Some(AbortCause::WriteCapacity);
                     }
                 }
             }
             AccessKind::Read => {
                 if slot.read_set.insert(line) && slot.read_set.len() > read_budget {
                     slot.reset();
-                    result.self_abort = Some(AbortCause::ReadCapacity);
-                    return result;
+                    return Some(AbortCause::ReadCapacity);
                 }
             }
         }
-        result
+        None
     }
 
     /// Feeds a *non-transactional* access (fall-back path, lock words).
     /// Returns the transactions it kills; their slots are cleared.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`HtmMachine::non_tx_access_into`].
     pub fn non_tx_access(
         &mut self,
         thread: ThreadId,
@@ -308,8 +343,21 @@ impl HtmMachine {
         kind: AccessKind,
     ) -> Vec<ThreadId> {
         let mut victims = Vec::new();
-        self.kill_conflicting(thread, line, kind, &mut victims);
+        self.non_tx_access_into(thread, line, kind, &mut victims);
         victims
+    }
+
+    /// [`HtmMachine::non_tx_access`] writing the killed transactions into
+    /// `victims` (cleared first) instead of allocating.
+    pub fn non_tx_access_into(
+        &mut self,
+        thread: ThreadId,
+        line: LineAddr,
+        kind: AccessKind,
+        victims: &mut Vec<ThreadId>,
+    ) {
+        victims.clear();
+        self.kill_conflicting(thread, line, kind, victims);
     }
 
     /// Commits the transaction on `thread` (`xend`), clearing its tracking.
@@ -336,15 +384,24 @@ impl HtmMachine {
     /// Aborts every in-flight transaction and returns them — used when the
     /// single-global fall-back lock is acquired, which every hardware
     /// transaction subscribes to (reads) at begin.
+    ///
+    /// Allocating convenience wrapper around [`HtmMachine::kill_all_into`].
     pub fn kill_all(&mut self) -> Vec<ThreadId> {
         let mut killed = Vec::new();
+        self.kill_all_into(&mut killed);
+        killed
+    }
+
+    /// [`HtmMachine::kill_all`] writing the killed transactions into
+    /// `killed` (cleared first) instead of allocating.
+    pub fn kill_all_into(&mut self, killed: &mut Vec<ThreadId>) {
+        killed.clear();
         for (t, slot) in self.slots.iter_mut().enumerate() {
             if slot.active {
                 slot.reset();
                 killed.push(t);
             }
         }
-        killed
     }
 
     /// Current read-set size of `thread`'s transaction.

@@ -285,6 +285,16 @@ struct Driver<'w, 's, 't> {
     live_threads: usize,
     budget: u32,
     smt_factor: Vec<f64>,
+    /// Reusable scratch buffers for the per-event hot paths. Each is
+    /// filled and drained within a single dispatch (taken with
+    /// `mem::take`, restored afterwards so the capacity survives), which
+    /// keeps steady-state event handling free of heap allocation.
+    scratch_gates: Vec<Gate>,
+    scratch_needed: Vec<LockId>,
+    scratch_squeezed: Vec<(ThreadId, seer_htm::AbortCause)>,
+    scratch_victims: Vec<ThreadId>,
+    scratch_acquirers: Vec<ThreadId>,
+    scratch_watchers: Vec<ThreadId>,
 }
 
 impl<'w, 's, 't> Driver<'w, 's, 't> {
@@ -326,6 +336,12 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
             live_threads,
             budget,
             smt_factor,
+            scratch_gates: Vec::new(),
+            scratch_needed: Vec::new(),
+            scratch_squeezed: Vec::new(),
+            scratch_victims: Vec::new(),
+            scratch_acquirers: Vec::new(),
+            scratch_watchers: Vec::new(),
         }
     }
 
@@ -381,6 +397,7 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
             #[cfg(feature = "check-invariants")]
             self.assert_invariants();
         }
+        self.metrics.events = events;
     }
 
     fn finish(self) -> RunMetrics {
@@ -699,10 +716,23 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
     }
 
     fn install_gates(&mut self, th: ThreadId, gates: Vec<Gate>, after: AfterGates) {
+        self.threads[th].pending_gates = gates;
+        self.finish_install(th, after);
+    }
+
+    /// [`Driver::install_gates`] for a single gate, reusing the thread's
+    /// pending-gate storage instead of allocating a fresh list.
+    fn install_single_gate(&mut self, th: ThreadId, gate: Gate, after: AfterGates) {
+        let ctx = &mut self.threads[th];
+        ctx.pending_gates.clear();
+        ctx.pending_gates.push(gate);
+        self.finish_install(th, after);
+    }
+
+    fn finish_install(&mut self, th: ThreadId, after: AfterGates) {
         let now = self.now;
         let ctx = &mut self.threads[th];
         ctx.phase = Phase::Gating;
-        ctx.pending_gates = gates;
         ctx.after_gates = after;
         ctx.gates_entered_at = now;
         ctx.pending_delay = 0;
@@ -728,11 +758,18 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
     /// transitioned.
     fn process_gates(&mut self, th: ThreadId) {
         debug_assert_eq!(self.threads[th].phase, Phase::Gating);
-        let gates = self.threads[th].pending_gates.clone();
+        // The gate list must stay pending (a parked thread re-enters here
+        // from the top), but processing mutates thread state — so iterate
+        // a working copy, held in reused scratch storage rather than a
+        // fresh allocation per wake.
+        let mut gates = std::mem::take(&mut self.scratch_gates);
+        gates.clone_from(&self.threads[th].pending_gates);
         let patience_deadline = self.threads[th].gates_entered_at + self.cfg.wait_patience;
-        for gate in gates {
+        let mut parked = false;
+        for gate in gates.iter_mut() {
             match gate {
                 Gate::WaitWhileLocked(l) => {
+                    let l = *l;
                     if self.locks.is_locked(l)
                         && !self.locks.is_held_by(l, th)
                         && self.now < patience_deadline
@@ -753,19 +790,24 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
                         let epoch = self.threads[th].epoch;
                         self.queue
                             .push(patience_deadline.max(self.now + 1), Event::GateResume { th, epoch });
-                        return;
+                        parked = true;
+                        break;
                     }
                 }
                 Gate::Acquire(l) => {
-                    if !self.acquire_or_park(th, l) {
-                        return;
+                    if !self.acquire_or_park(th, *l) {
+                        parked = true;
+                        break;
                     }
                 }
-                Gate::AcquireMany { mut locks, via_htm } => {
+                Gate::AcquireMany { locks, via_htm } => {
+                    let via_htm = *via_htm;
+                    // `locks` is our working copy: sort it in place.
                     locks.sort_unstable();
                     locks.dedup();
-                    let mut needed: Vec<LockId> = Vec::with_capacity(locks.len());
-                    for l in locks {
+                    let mut needed = std::mem::take(&mut self.scratch_needed);
+                    needed.clear();
+                    for &l in locks.iter() {
                         if self.locks.is_held_by(l, th) {
                             // Granted by a release hand-off while parked:
                             // record ownership so the lock is released later.
@@ -784,6 +826,7 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
                         }
                     }
                     if needed.is_empty() {
+                        self.scratch_needed = needed;
                         continue;
                     }
                     let all_free = needed.iter().all(|&l| !self.locks.is_locked(l));
@@ -813,23 +856,31 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
                             });
                         }
                     } else {
-                        let mut newly = Vec::new();
-                        let mut parked = false;
+                        let mut newly_tx = 0usize;
                         for &l in &needed {
                             if !self.acquire_or_park(th, l) {
                                 parked = true;
                                 break;
                             }
-                            newly.push(l);
+                            if matches!(l, LockId::Tx(_)) {
+                                newly_tx += 1;
+                            }
                         }
-                        self.record_tx_lock_acquisition(&newly);
-                        if parked {
-                            return;
+                        if newly_tx > 0 {
+                            self.metrics.tx_lock_acquisitions.push(newly_tx as u32);
                         }
+                    }
+                    self.scratch_needed = needed;
+                    if parked {
+                        break;
                     }
                 }
                 Gate::ReleaseHeld => self.release_all_held(th),
             }
+        }
+        self.scratch_gates = gates;
+        if parked {
+            return;
         }
         // All gates passed.
         let after = self.threads[th].after_gates;
@@ -901,14 +952,21 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
     }
 
     fn release_all_held(&mut self, th: ThreadId) {
-        let held = std::mem::take(&mut self.threads[th].held);
-        for l in held {
+        // Take the held list to release in insertion order (the order is
+        // part of the deterministic wake schedule), then hand its buffer
+        // back: the thread refills it on its very next acquisition.
+        let mut held = std::mem::take(&mut self.threads[th].held);
+        for &l in &held {
             self.release_lock(th, l);
         }
+        held.clear();
+        self.threads[th].held = held;
     }
 
     fn release_lock(&mut self, th: ThreadId, l: LockId) {
-        let plan = self.locks.release(l, th, self.now);
+        let mut acquirers = std::mem::take(&mut self.scratch_acquirers);
+        let mut watchers = std::mem::take(&mut self.scratch_watchers);
+        self.locks.release_into(l, th, self.now, &mut acquirers, &mut watchers);
         let handoff = self.now + self.cfg.costs.lock_handoff;
         // Wake queued acquirers first (in FIFO order) and watchers after,
         // staggered: cache-line arbitration serializes the waiters'
@@ -917,18 +975,20 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
         // create. Acquirers that lose the re-contention re-queue.
         let step = (self.cfg.costs.cas / 2).max(1);
         let mut i: Cycles = 0;
-        for a in plan.acquirers {
+        for &a in &acquirers {
             let epoch = self.threads[a].epoch;
             self.queue
                 .push(handoff + i * step, Event::GateResume { th: a, epoch });
             i += 1;
         }
-        for w in plan.watchers {
+        for &w in &watchers {
             let epoch = self.threads[w].epoch;
             self.queue
                 .push(handoff + i * step, Event::GateResume { th: w, epoch });
             i += 1;
         }
+        self.scratch_acquirers = acquirers;
+        self.scratch_watchers = watchers;
     }
 
     // ---- hardware attempt ----------------------------------------------
@@ -956,12 +1016,14 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
             return;
         }
 
-        let squeezed = self.machine.begin(th);
-        for (victim, cause) in squeezed {
+        let mut squeezed = std::mem::take(&mut self.scratch_squeezed);
+        self.machine.begin_into(th, &mut squeezed);
+        for &(victim, cause) in &squeezed {
             if self.threads[victim].phase == Phase::Running {
                 self.handle_abort(victim, XStatus::from(cause));
             }
         }
+        self.scratch_squeezed = squeezed;
 
         let (duration, first_access, epoch) = {
             let ctx = &self.threads[th];
@@ -1000,15 +1062,17 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
             let a = req.accesses[idx];
             (a.line, a.kind, req.block)
         };
-        let result = self.machine.access(th, line, kind);
-        for victim in result.victims {
+        let mut victims = std::mem::take(&mut self.scratch_victims);
+        let self_abort = self.machine.access_into(th, line, kind, &mut victims);
+        for &victim in &victims {
             if self.threads[victim].phase == Phase::Running {
                 let victim_block = self.threads[victim].block();
                 self.metrics.ground_truth.record(victim_block, my_block);
                 self.handle_abort(victim, XStatus::conflict());
             }
         }
-        if let Some(cause) = result.self_abort {
+        self.scratch_victims = victims;
+        if let Some(cause) = self_abort {
             self.handle_abort(th, XStatus::from(cause));
             return;
         }
@@ -1149,7 +1213,7 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
         }
         // RELEASE-Seer-LOCKS before taking the global lock (Alg. 1 line 19).
         self.release_all_held(th);
-        self.install_gates(th, vec![Gate::Acquire(LockId::Sgl)], AfterGates::StartFallback);
+        self.install_single_gate(th, Gate::Acquire(LockId::Sgl), AfterGates::StartFallback);
         let epoch = self.threads[th].epoch;
         self.queue.push(at.max(self.now), Event::GateResume { th, epoch });
     }
@@ -1161,14 +1225,16 @@ impl<'w, 's, 't> Driver<'w, 's, 't> {
         // Acquiring the SGL invalidates the lock line every hardware
         // transaction subscribed to at begin: they all abort.
         let block = self.threads[th].block();
-        let killed = self.machine.kill_all();
-        for victim in killed {
+        let mut killed = std::mem::take(&mut self.scratch_victims);
+        self.machine.kill_all_into(&mut killed);
+        for &victim in &killed {
             if victim != th && self.threads[victim].phase == Phase::Running {
                 let victim_block = self.threads[victim].block();
                 self.metrics.ground_truth.record(victim_block, block);
                 self.handle_abort(victim, XStatus::conflict());
             }
         }
+        self.scratch_victims = killed;
         let delay = std::mem::take(&mut self.threads[th].pending_delay);
         let duration = self.threads[th].req.as_ref().expect("fallback without request").duration;
         let epoch = self.threads[th].epoch;

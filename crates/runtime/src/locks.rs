@@ -111,6 +111,20 @@ impl LockBank {
         }
     }
 
+    /// [`LockBank::release`] draining the wake lists into caller-provided
+    /// vectors (cleared first), allocating nothing — the hot path of the
+    /// DES driver's lock hand-off.
+    pub fn release_into(
+        &mut self,
+        id: LockId,
+        thread: ThreadId,
+        now: Cycles,
+        acquirers: &mut Vec<ThreadId>,
+        watchers: &mut Vec<ThreadId>,
+    ) {
+        self.get_mut(id).release_into(thread, now, acquirers, watchers);
+    }
+
     /// Number of transaction locks in the bank.
     pub fn tx_lock_count(&self) -> usize {
         self.tx.len()

@@ -217,6 +217,9 @@ pub struct RunMetrics {
     pub ground_truth: ConflictGroundTruth,
     /// True when the run hit the event safety valve before completing.
     pub truncated: bool,
+    /// Total DES events dispatched by the driver's main loop — the
+    /// denominator for the bench harness's events/sec throughput figures.
+    pub events: u64,
     /// Digest of the run's entire event schedule in execution order (from
     /// [`seer_sim::EventQueue::trace_hash`]). Two runs of the same
     /// (workload, scheduler, config, seed) must report identical hashes;
@@ -243,6 +246,7 @@ impl RunMetrics {
             tx_locks_available,
             ground_truth: ConflictGroundTruth::new(blocks),
             truncated: false,
+            events: 0,
             trace_hash: 0,
         }
     }

@@ -51,7 +51,9 @@ impl CycleHistogram {
         let idx = if v == 0 { 0 } else { (64 - v.leading_zeros()) as usize };
         self.buckets[idx] += 1;
         self.count += 1;
-        self.total += v;
+        // Saturate: a sum pinned at u64::MAX beats a debug-mode panic when
+        // extreme values land in the top bucket.
+        self.total = self.total.saturating_add(v);
         self.max = self.max.max(v);
     }
 
@@ -108,7 +110,7 @@ impl CycleHistogram {
             *a += b;
         }
         self.count += other.count;
-        self.total += other.total;
+        self.total = self.total.saturating_add(other.total);
         self.max = self.max.max(other.max);
     }
 }
@@ -181,5 +183,46 @@ mod tests {
         let mut h = CycleHistogram::new();
         h.record(u64::MAX / 2);
         assert!(h.quantile(0.5) >= u64::MAX / 4);
+    }
+
+    #[test]
+    fn empty_histogram_answers_every_quantile_with_zero() {
+        let h = CycleHistogram::new();
+        for q in [0.0, 0.001, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "empty histogram, q = {q}");
+        }
+        // Out-of-range requests clamp rather than panic or index astray.
+        assert_eq!(h.quantile(-1.0), 0);
+        assert_eq!(h.quantile(2.0), 0);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn single_sample_owns_every_quantile() {
+        let mut h = CycleHistogram::new();
+        h.record(1000); // bucket [512, 1024) -> upper bound 1023
+        for q in [0.0, 0.001, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 1023, "single sample, q = {q}");
+        }
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.mean(), 1000.0);
+    }
+
+    #[test]
+    fn saturating_top_bucket_clamps_to_u64_max() {
+        // u64::MAX lands in bucket 64, whose nominal upper bound 2^64 - 1
+        // must saturate to u64::MAX instead of wrapping.
+        let mut h = CycleHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(0.5), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        // A quantile below the top bucket is unaffected by the extreme,
+        // and the running total saturates instead of overflowing.
+        h.record(1);
+        h.record(1);
+        h.record(1);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.total(), u64::MAX);
     }
 }

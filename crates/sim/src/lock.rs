@@ -151,6 +151,24 @@ impl SimLock {
     /// # Panics
     /// If `thread` does not own the lock.
     pub fn release(&mut self, thread: ThreadId, now: Cycles) -> ReleaseWake {
+        let mut wake = ReleaseWake::default();
+        self.release_into(thread, now, &mut wake.acquirers, &mut wake.watchers);
+        wake
+    }
+
+    /// [`SimLock::release`] draining the woken threads into caller-provided
+    /// vectors (cleared first) — the lock keeps its queue buffers and the
+    /// caller reuses its own, so a release allocates nothing.
+    ///
+    /// # Panics
+    /// If `thread` does not own the lock.
+    pub fn release_into(
+        &mut self,
+        thread: ThreadId,
+        now: Cycles,
+        acquirers: &mut Vec<ThreadId>,
+        watchers: &mut Vec<ThreadId>,
+    ) {
         assert!(
             self.owner == Some(thread),
             "thread {thread} releasing a lock owned by {:?}",
@@ -158,10 +176,10 @@ impl SimLock {
         );
         self.stats.held_cycles += now.saturating_sub(self.acquired_at);
         self.owner = None;
-        ReleaseWake {
-            acquirers: std::mem::take(&mut self.acquirers).into(),
-            watchers: std::mem::take(&mut self.watchers),
-        }
+        acquirers.clear();
+        acquirers.extend(self.acquirers.drain(..));
+        watchers.clear();
+        watchers.append(&mut self.watchers);
     }
 
     /// Number of queued acquirers.
