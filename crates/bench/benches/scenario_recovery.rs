@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use seer_harness::PolicyKind;
-use seer_scenario::{run_scenario, FaultKind, FaultSpec, ScenarioSpec};
+use seer_scenario::{FaultKind, FaultSpec, RunRequest, ScenarioSpec};
 use seer_stamp::Benchmark;
 use std::hint::black_box;
 
@@ -30,8 +30,8 @@ fn stationary() -> ScenarioSpec {
 }
 
 fn assert_faults_conserve_work() {
-    let with_fault = run_scenario(&faulted(), PolicyKind::Seer, 0);
-    let without = run_scenario(&stationary(), PolicyKind::Seer, 0);
+    let with_fault = RunRequest::scenario(&faulted()).policy(PolicyKind::Seer).run();
+    let without = RunRequest::scenario(&stationary()).policy(PolicyKind::Seer).run();
     assert_eq!(
         with_fault.metrics.commits, without.metrics.commits,
         "a fault may reschedule work, never add or drop it"
@@ -52,11 +52,11 @@ fn scenario_recovery(c: &mut Criterion) {
 
     group.bench_function("stationary", |b| {
         let spec = stationary();
-        b.iter(|| black_box(run_scenario(&spec, PolicyKind::Seer, 0).metrics.commits));
+        b.iter(|| black_box(RunRequest::scenario(&spec).policy(PolicyKind::Seer).run().metrics.commits));
     });
     group.bench_function("stats-amnesia", |b| {
         let spec = faulted();
-        b.iter(|| black_box(run_scenario(&spec, PolicyKind::Seer, 0).metrics.commits));
+        b.iter(|| black_box(RunRequest::scenario(&spec).policy(PolicyKind::Seer).run().metrics.commits));
     });
     group.finish();
 }

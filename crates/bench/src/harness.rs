@@ -22,7 +22,8 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
-use seer_harness::{parallel_map, run_once, Cell, Json, PolicyKind, ToJson};
+use seer_harness::{parallel_map, Cell, Json, PolicyKind, ToJson};
+use seer_scenario::RunRequest;
 use seer_sim::{Cycles, EventQueue, SimRng};
 use seer_stamp::Benchmark;
 
@@ -339,7 +340,7 @@ fn time_cell(cell: Cell, mode: BenchMode, repeats: usize) -> CellBench {
     let mut trace_hash = 0u64;
     for rep in 0..repeats.max(1) {
         let start = Instant::now();
-        let m = run_once(cell, MATRIX_SEED, mode.scale());
+        let m = RunRequest::cell(cell).seed(MATRIX_SEED).scale(mode.scale()).run();
         let secs = start.elapsed().as_secs_f64();
         best = best.min(secs);
         if rep == 0 {

@@ -23,8 +23,9 @@
 //! Run with `cargo bench --workspace`; each bench uses a reduced workload
 //! scale so a full sweep stays in the minutes range.
 
-use seer_harness::{run_once_traced, Cell, CellExecutor, HarnessConfig};
+use seer_harness::{Cell, CellExecutor, HarnessConfig};
 use seer_runtime::{RunMetrics, TraceSink};
+use seer_scenario::RunRequest;
 
 pub mod harness;
 
@@ -54,5 +55,5 @@ pub fn simulate_cold(cell: Cell) -> RunMetrics {
 /// `NullTraceSink` this must cost nothing beyond one cached boolean per
 /// emission site — the `trace_overhead` bench pins that.
 pub fn simulate_cold_traced(cell: Cell, sink: &mut dyn TraceSink) -> RunMetrics {
-    run_once_traced(cell, 0, BENCH_SCALE, sink)
+    RunRequest::cell(cell).scale(BENCH_SCALE).traced(sink).run()
 }

@@ -44,8 +44,9 @@ impl Args {
             let Some(key) = tok.strip_prefix("--") else {
                 return Err(ParseError(format!("expected --option, got {tok:?}")));
             };
-            if key == "help" {
-                options.insert("help".into(), "true".into());
+            // Value-free flags: presence is the whole message.
+            if key == "help" || key == "resume" {
+                options.insert(key.to_string(), "true".into());
                 continue;
             }
             let value = iter
@@ -147,5 +148,12 @@ mod tests {
     fn help_flag_is_value_free() {
         let a = parse(&["run", "--help"]).unwrap();
         assert!(a.wants_help());
+    }
+
+    #[test]
+    fn resume_flag_is_value_free() {
+        let a = parse(&["sweep", "--resume", "--benchmark", "genome"]).unwrap();
+        assert_eq!(a.get("resume"), Some("true"));
+        assert_eq!(a.get("benchmark"), Some("genome"));
     }
 }

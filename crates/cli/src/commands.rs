@@ -4,10 +4,11 @@ use std::sync::Once;
 
 use seer::{Seer, SeerConfig};
 use seer_harness::{
-    default_jobs, run_once, run_once_traced, write_chrome_trace, write_trace_jsonl, Cell,
-    CellExecutor, HarnessConfig, Plan, PolicyKind,
+    default_jobs, write_chrome_trace, write_trace_jsonl, Cell, CellExecutor, HarnessConfig,
+    Plan, PolicyKind, Store,
 };
 use seer_runtime::{run, DriverConfig, MemoryTraceSink, RunMetrics, TxMode, Workload};
+use seer_scenario::RunRequest;
 use seer_stamp::Benchmark;
 
 use crate::args::{Args, ParseError};
@@ -46,6 +47,7 @@ pub fn print_usage() {
          \x20                              [--trace F.jsonl] [--chrome F.json]\n\
          \x20 sweep    thread sweep        --benchmark B [--policies hle,rtm,scm,seer]\n\
          \x20                              [--max-threads N] [--seed N] [--jobs N]\n\
+         \x20                              [--store DIR] [--resume]\n\
          \x20 bench    perf measurement    [--mode smoke|full] [--out BENCH_006.json]\n\
          \x20          (see DESIGN.md §12) [--repeats N] [--jobs N] [--json true]\n\
          \x20 inspect  Seer's learned state --benchmark B --threads N [--txs N] [--seed N]\n\
@@ -54,7 +56,12 @@ pub fn print_usage() {
          \x20 scenario list                 built-in disturbance scenarios\n\
          \x20 scenario run                  [--name S | --spec F.json] [--policy P]\n\
          \x20          recovery scoring     [--seed N] [--jobs N] [--json true]\n\
-         \x20                               [--trace F.jsonl]\n\
+         \x20                               [--trace F.jsonl] [--store DIR] [--resume]\n\
+         \n\
+         Persistence: --store DIR attaches an on-disk result store (results load\n\
+         before simulating and persist after); --resume is shorthand for\n\
+         --store .seer-store. A killed sweep re-run with --resume recomputes only\n\
+         the gap and is byte-identical to an uninterrupted run.\n\
          \n\
          Simulated machine: 4 physical cores x 2 hyper-threads (the paper's\n\
          Haswell Xeon E3-1275); all results are in simulated cycles."
@@ -132,7 +139,11 @@ pub fn run_one(args: &Args) -> Result<(), ParseError> {
         // Tracing is a sink, not a flag: metrics (and trace_hash) are
         // bit-identical to the untraced run below.
         let mut sink = MemoryTraceSink::new();
-        let m = run_once_traced(cell, seed, scale, &mut sink);
+        let m = RunRequest::cell(cell)
+            .seed(seed)
+            .scale(scale)
+            .traced(&mut sink)
+            .run();
         if let Some(path) = trace_path {
             if write_trace_jsonl(path, &sink) {
                 eprintln!("trace: JSONL written to {path}");
@@ -145,7 +156,7 @@ pub fn run_one(args: &Args) -> Result<(), ParseError> {
         }
         m
     } else {
-        run_once(cell, seed, scale)
+        RunRequest::cell(cell).seed(seed).scale(scale).run()
     };
     if json {
         use seer_harness::{Json, ToJson};
@@ -214,9 +225,26 @@ fn repeats_or_warn(args: &Args, default: usize) -> usize {
 /// cells; half scale keeps it interactive).
 const SWEEP_SCALE: f64 = 0.5;
 
+/// Where `--resume` looks for results when no `--store DIR` is given.
+const DEFAULT_STORE_DIR: &str = ".seer-store";
+
+/// Resolves `--store DIR` / `--resume` into a store attachment.
+/// `--resume` alone uses [`DEFAULT_STORE_DIR`]. Opening is lazy and an
+/// unwritable directory degrades into a warn-once pass-through inside the
+/// store, so this never fails and never aborts a sweep mid-run.
+fn store_from_args(args: &Args) -> Option<Store> {
+    match (args.get("store"), args.get("resume")) {
+        (Some(dir), _) => Some(Store::open(dir)),
+        (None, Some(_)) => Some(Store::open(DEFAULT_STORE_DIR)),
+        (None, None) => None,
+    }
+}
+
 /// `seer sweep`.
 pub fn sweep(args: &Args) -> Result<(), ParseError> {
-    args.allow_only(&["benchmark", "policies", "max-threads", "seed", "jobs"])?;
+    args.allow_only(&[
+        "benchmark", "policies", "max-threads", "seed", "jobs", "store", "resume",
+    ])?;
     let benchmark = parse_benchmark(args.get("benchmark").unwrap_or("genome"))?;
     let max_threads: usize = args.get_parsed("max-threads", 8)?;
     let seed: u64 = args.get_parsed("seed", 0)?;
@@ -235,11 +263,15 @@ pub fn sweep(args: &Args) -> Result<(), ParseError> {
     // Declare the whole grid up front and fan it out across `jobs` OS
     // threads; the printed table then assembles from cache in row order
     // (bit-identical to a serial sweep for any --jobs value).
-    let exec = CellExecutor::new(HarnessConfig {
+    let cfg = HarnessConfig {
         seeds: 1,
         scale: SWEEP_SCALE,
         jobs,
-    });
+    };
+    let exec = match store_from_args(args) {
+        Some(store) => CellExecutor::with_store(cfg, store),
+        None => CellExecutor::new(cfg),
+    };
     let mut plan = Plan::new();
     for threads in 1..=max_threads {
         for &policy in &policies {
@@ -254,7 +286,17 @@ pub fn sweep(args: &Args) -> Result<(), ParseError> {
             );
         }
     }
-    exec.execute(&plan);
+    let report = exec.execute(&plan);
+    if exec.store().is_some() || !report.complete() {
+        eprintln!(
+            "sweep: {} cell(s) planned — {} memoized, {} from disk, {} computed, {} failed",
+            report.planned,
+            report.memo_hits,
+            report.disk_hits,
+            report.computed,
+            report.failed.len(),
+        );
+    }
 
     println!("{} — speedup over sequential (seed {seed})", benchmark.name());
     print!("{:>8}", "threads");
@@ -265,7 +307,9 @@ pub fn sweep(args: &Args) -> Result<(), ParseError> {
     for threads in 1..=max_threads {
         print!("{threads:>8}");
         for &policy in &policies {
-            let m = exec.metrics_at(
+            // Assemble from cache only: a failed cell renders as FAILED in
+            // a partial table instead of re-panicking on recompute.
+            match exec.cached(
                 Cell {
                     benchmark,
                     policy,
@@ -273,10 +317,29 @@ pub fn sweep(args: &Args) -> Result<(), ParseError> {
                 },
                 seed,
                 SWEEP_SCALE,
-            );
-            print!("{:>12.3}", m.speedup());
+            ) {
+                Some(m) => print!("{:>12.3}", m.speedup()),
+                None => print!("{:>12}", "FAILED"),
+            }
         }
         println!();
+    }
+    if !report.complete() {
+        for f in &report.failed {
+            eprintln!(
+                "sweep: FAILED {}/{}/t{} after {} attempt(s): {}",
+                f.key.benchmark.name(),
+                f.key.policy.name(),
+                f.key.threads,
+                f.attempts,
+                f.failure,
+            );
+        }
+        return Err(ParseError(format!(
+            "{} of {} cell(s) failed; partial results above (re-run with --resume to retry only the gaps)",
+            report.failed.len(),
+            report.planned,
+        )));
     }
     Ok(())
 }
@@ -403,7 +466,11 @@ fn parse_pair(raw: &str) -> Result<(usize, usize), ParseError> {
 /// `explain` command prints it.
 pub fn explain_text(cell: Cell, seed: u64, scale: f64, x: usize, y: usize) -> String {
     let mut sink = MemoryTraceSink::new();
-    let m = run_once_traced(cell, seed, scale, &mut sink);
+    let m = RunRequest::cell(cell)
+        .seed(seed)
+        .scale(scale)
+        .traced(&mut sink)
+        .run();
     let workload = cell.benchmark.instantiate_scaled(cell.threads, scale);
     let mut out = format!(
         "pair ({x}, {y}) = ({}, {}) — {} under {}, {} thread(s), seed {seed}\n\
@@ -593,21 +660,25 @@ fn print_recovery(outcome: &seer_scenario::ScenarioOutcome) {
 
 /// `seer scenario run`.
 pub fn scenario_run(args: &Args) -> Result<(), ParseError> {
-    use seer_scenario::{
-        library, run_scenario, run_scenario_traced, ScenarioPlan, ScenarioSpec,
-    };
+    use seer_scenario::{library, ScenarioPlan, ScenarioSpec};
 
-    args.allow_only(&["name", "spec", "policy", "seed", "jobs", "json", "trace"])?;
+    args.allow_only(&[
+        "name", "spec", "policy", "seed", "jobs", "json", "trace", "store", "resume",
+    ])?;
     let policy = parse_policy(args.get("policy").unwrap_or("seer"))?;
     let seed: u64 = args.get_parsed("seed", 0)?;
     let json: bool = args.get_parsed("json", false)?;
 
+    let mut builtin_name: Option<String> = None;
     let spec = match (args.get("name"), args.get("spec")) {
         (Some(_), Some(_)) => {
             return Err(ParseError("--name and --spec are mutually exclusive".into()));
         }
         (Some(name), None) => match library::builtin(name) {
-            Some(spec) => Some(spec),
+            Some(spec) => {
+                builtin_name = Some(name.to_string());
+                Some(spec)
+            }
             None => {
                 warn_scenario(&format!("unknown scenario {name:?}"));
                 return Ok(());
@@ -633,16 +704,59 @@ pub fn scenario_run(args: &Args) -> Result<(), ParseError> {
     };
 
     if let Some(spec) = spec {
+        let store = store_from_args(args);
         let outcome = match args.get("trace") {
             Some(path) => {
+                if store.is_some() {
+                    // A disk hit has no event streams to export, so a
+                    // traced run is always live.
+                    eprintln!("scenario: --trace requested; running live (store not consulted)");
+                }
                 let mut sink = MemoryTraceSink::new();
-                let outcome = run_scenario_traced(&spec, policy, seed, &mut sink);
+                let outcome = RunRequest::scenario(&spec)
+                    .policy(policy)
+                    .seed(seed)
+                    .traced(&mut sink)
+                    .run();
                 if write_trace_jsonl(path, &sink) {
                     eprintln!("trace: JSONL written to {path}");
                 }
                 outcome
             }
-            None => run_scenario(&spec, policy, seed),
+            None => match (store, &builtin_name) {
+                (Some(store), Some(name)) => {
+                    // Built-in by name: go through the store-backed
+                    // executor so the result persists and re-runs warm.
+                    let exec = seer_scenario::ScenarioExecutor::with_store(1, store);
+                    let mut plan = ScenarioPlan::new();
+                    plan.add(name, policy, seed);
+                    let report = exec.execute(&plan);
+                    eprintln!(
+                        "scenario: 1 planned — {} from disk, {} computed, {} failed",
+                        report.disk_hits,
+                        report.computed,
+                        report.failed.len(),
+                    );
+                    match exec.cached(name, policy, seed) {
+                        Some(outcome) => outcome,
+                        None => {
+                            let f = &report.failed[0];
+                            return Err(ParseError(format!(
+                                "scenario {name:?} failed after {} attempt(s): {}",
+                                f.attempts, f.failure
+                            )));
+                        }
+                    }
+                }
+                (store, _) => {
+                    if store.is_some() {
+                        eprintln!(
+                            "scenario: --spec runs are not persisted (the store keys built-in names); running live"
+                        );
+                    }
+                    RunRequest::scenario(&spec).policy(policy).seed(seed).run()
+                }
+            },
         };
         if json {
             use seer_harness::ToJson;
@@ -662,26 +776,64 @@ pub fn scenario_run(args: &Args) -> Result<(), ParseError> {
     if jobs == 0 {
         return Err(ParseError("--jobs must be at least 1".into()));
     }
-    let exec = seer_scenario::ScenarioExecutor::new(jobs);
+    let exec = match store_from_args(args) {
+        Some(store) => seer_scenario::ScenarioExecutor::with_store(jobs, store),
+        None => seer_scenario::ScenarioExecutor::new(jobs),
+    };
     let mut plan = ScenarioPlan::new();
     for name in library::BUILTIN_NAMES {
         plan.add(name, policy, seed);
     }
-    exec.execute(&plan);
+    let report = exec.execute(&plan);
+    if exec.store().is_some() || !report.complete() {
+        eprintln!(
+            "scenario: {} planned — {} memoized, {} from disk, {} computed, {} failed",
+            report.planned,
+            report.memo_hits,
+            report.disk_hits,
+            report.computed,
+            report.failed.len(),
+        );
+    }
+    // Assemble from cache only, so one failed scenario yields a partial
+    // report instead of a recompute panic.
     if json {
         use seer_harness::{Json, ToJson};
         let reports: Vec<Json> = library::BUILTIN_NAMES
             .iter()
-            .map(|name| exec.outcome(name, policy, seed).report.to_json())
+            .filter_map(|name| exec.cached(name, policy, seed))
+            .map(|outcome| outcome.report.to_json())
             .collect();
         println!("{}", Json::Array(reports).to_string_pretty());
     } else {
-        for (i, name) in library::BUILTIN_NAMES.iter().enumerate() {
-            if i > 0 {
+        let mut first = true;
+        for name in library::BUILTIN_NAMES {
+            let Some(outcome) = exec.cached(name, policy, seed) else {
+                continue;
+            };
+            if !first {
                 println!();
             }
-            print_recovery(&exec.outcome(name, policy, seed));
+            first = false;
+            print_recovery(&outcome);
         }
+    }
+    if !report.complete() {
+        for f in &report.failed {
+            eprintln!(
+                "scenario: FAILED {}/{} seed {} after {} attempt(s): {}",
+                f.key.scenario,
+                f.key.policy.name(),
+                f.key.seed,
+                f.attempts,
+                f.failure,
+            );
+        }
+        return Err(ParseError(format!(
+            "{} of {} scenario(s) failed; partial results above (re-run with --resume to retry only the gaps)",
+            report.failed.len(),
+            report.planned,
+        )));
     }
     Ok(())
 }

@@ -4,12 +4,13 @@
 //! seer list                                  # benchmarks and policies
 //! seer run    --benchmark genome --policy seer --threads 8 [--seed N] [--txs N] [--json true]
 //! seer sweep  --benchmark vacation-high [--policies hle,rtm,scm,seer] [--max-threads 8]
+//!             [--store DIR] [--resume]                   # persistent, resumable results
 //! seer bench  [--mode smoke|full] [--out BENCH_006.json] [--repeats N] [--jobs N] [--json true]
 //! seer inspect --benchmark intruder --threads 8 [--txs N]   # Seer's learned state
 //! seer explain --benchmark genome --policy seer --pair 0,2  # decision history of one pair
 //! seer scenario list                                        # built-in disturbance scenarios
 //! seer scenario run [--name churn-storm | --spec F.json] [--policy P] [--seed N]
-//!                   [--jobs N] [--json true] [--trace F.jsonl]
+//!                   [--jobs N] [--json true] [--trace F.jsonl] [--store DIR] [--resume]
 //! ```
 
 mod args;

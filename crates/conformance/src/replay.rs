@@ -15,8 +15,9 @@
 //! derivation the harness executor, benches and CLI use — so the fixtures
 //! pin the whole stack's seeding, not a conformance-local copy of it.
 
-use seer_harness::{run_once, Cell};
+use seer_harness::Cell;
 use seer_runtime::RunMetrics;
+use seer_scenario::RunRequest;
 
 /// Runs `cell` twice with the same seed and asserts bit-identical traces
 /// and metrics, returning the (verified) metrics of the first run.
@@ -24,8 +25,8 @@ use seer_runtime::RunMetrics;
 /// # Panics
 /// If the two runs diverge in any observable way.
 pub fn replay_cell(cell: Cell, seed: u64, scale: f64) -> RunMetrics {
-    let first = run_once(cell, seed, scale);
-    let second = run_once(cell, seed, scale);
+    let first = RunRequest::cell(cell).seed(seed).scale(scale).run();
+    let second = RunRequest::cell(cell).seed(seed).scale(scale).run();
     assert_eq!(
         first.trace_hash, second.trace_hash,
         "replay diverged for {cell:?} seed {seed}: the event schedules differ"

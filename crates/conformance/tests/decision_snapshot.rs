@@ -17,8 +17,9 @@
 //! then commit the updated `tests/fixtures/decision_trace.jsonl` with the
 //! change that moved it.
 
-use seer_harness::{parallel_map, run_once_traced, trace_jsonl, Cell, PolicyKind};
+use seer_harness::{parallel_map, trace_jsonl, Cell, PolicyKind};
 use seer_runtime::MemoryTraceSink;
+use seer_scenario::RunRequest;
 use seer_stamp::Benchmark;
 
 // Larger than the replay matrix's 0.08: the snapshot cell must run long
@@ -43,7 +44,11 @@ fn cell() -> Cell {
 /// snapshot pins the decision provenance).
 fn decision_jsonl() -> String {
     let mut sink = MemoryTraceSink::new();
-    run_once_traced(cell(), SEED, SCALE, &mut sink);
+    RunRequest::cell(cell())
+        .seed(SEED)
+        .scale(SCALE)
+        .traced(&mut sink)
+        .run();
     let decisions = MemoryTraceSink {
         lifecycle: Vec::new(),
         inference: sink.inference,

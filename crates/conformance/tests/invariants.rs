@@ -7,7 +7,8 @@
 //! subscription consistency, running conservation — turning the sweep into
 //! a structural audit of the whole scheduler zoo.
 
-use seer_harness::{run_once, Cell, PolicyKind};
+use seer_harness::{Cell, PolicyKind};
+use seer_scenario::RunRequest;
 use seer_stamp::Benchmark;
 
 #[test]
@@ -22,15 +23,13 @@ fn conservation_laws_hold_across_the_policy_zoo() {
     ];
     for (benchmark, policy) in cells {
         for threads in [2, 8] {
-            let m = run_once(
-                Cell {
-                    benchmark,
-                    policy,
-                    threads,
-                },
-                0,
-                0.1,
-            );
+            let m = RunRequest::cell(Cell {
+                benchmark,
+                policy,
+                threads,
+            })
+            .scale(0.1)
+            .run();
             let violations = m.check_conservation();
             assert!(
                 violations.is_empty(),

@@ -7,9 +7,10 @@
 //! this pins the acceptance criterion that all golden trace hashes pass
 //! unchanged with tracing enabled **and** disabled, with no re-bless.
 
-use seer_harness::{default_jobs, parallel_map, run_once_traced, Cell, PolicyKind};
+use seer_harness::{default_jobs, parallel_map, Cell, PolicyKind};
 use seer_runtime::trace::AbortCause;
 use seer_runtime::{MemoryTraceSink, TxMode};
+use seer_scenario::RunRequest;
 use seer_stamp::Benchmark;
 
 const SCALE: f64 = 0.08;
@@ -37,7 +38,7 @@ fn lifecycle_events_reconcile_with_metrics_on_every_replay_cell() {
     let cells = matrix();
     let lines = parallel_map(&cells, default_jobs(), |&cell| {
         let mut sink = MemoryTraceSink::new();
-        let m = run_once_traced(cell, 0, SCALE, &mut sink);
+        let m = RunRequest::cell(cell).scale(SCALE).traced(&mut sink).run();
         let violations = m.check_conservation();
         assert!(violations.is_empty(), "{cell:?}: {violations:#?}");
 

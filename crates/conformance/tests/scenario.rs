@@ -17,8 +17,7 @@
 use seer_conformance::SglOnly;
 use seer_harness::{PolicyKind, ToJson};
 use seer_scenario::{
-    library, run_scenario, run_scenario_with, FaultKind, FaultSpec, ScenarioExecutor,
-    ScenarioPlan, ScenarioSpec,
+    library, FaultKind, FaultSpec, RunRequest, ScenarioExecutor, ScenarioPlan, ScenarioSpec,
 };
 use seer_stamp::Benchmark;
 
@@ -114,8 +113,8 @@ fn every_fault_kind_replays_bit_identically() {
         spec.faults.push(FaultSpec { at, fault });
     }
     spec.validate().expect("all-faults spec is well-formed");
-    let a = run_scenario(&spec, PolicyKind::Seer, 0);
-    let b = run_scenario(&spec, PolicyKind::Seer, 0);
+    let a = RunRequest::scenario(&spec).policy(PolicyKind::Seer).run();
+    let b = RunRequest::scenario(&spec).policy(PolicyKind::Seer).run();
     assert_eq!(a.metrics.trace_hash, b.metrics.trace_hash);
     assert_eq!(a.metrics.commits, b.metrics.commits);
     assert_eq!(
@@ -132,9 +131,11 @@ fn seer_regresses_and_recovers_where_the_reference_cannot() {
     // single-lock reference — which never touches the HTM — sees nothing
     // worth recovering from.
     let spec = library::builtin("capacity-cliff").unwrap();
-    let seer = run_scenario(&spec, PolicyKind::Seer, 0);
+    let seer = RunRequest::scenario(&spec).policy(PolicyKind::Seer).run();
     let mut sgl = SglOnly;
-    let reference = run_scenario_with(&spec, &mut sgl, "reference-sgl-only", 0);
+    let reference = RunRequest::scenario(&spec)
+        .scheduler(&mut sgl, "reference-sgl-only")
+        .run();
 
     let s = &seer.report.scores[0];
     assert!(

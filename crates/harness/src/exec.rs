@@ -4,38 +4,34 @@
 //! grid of *independent, deterministic* simulation cells, and several
 //! artefacts consume overlapping subsets of that grid (Table 3 re-reads
 //! every Figure 3 cell; Figure 4 and Figure 5 share the profile-only
-//! baseline runs). Instead of each experiment calling the runner inline —
-//! re-simulating shared cells and pinning everything to one core — an
-//! experiment now *declares* its grid as a [`Plan`] (a deduplicated set of
-//! `Cell × seed` work items) and hands it to a [`CellExecutor`], which
+//! baseline runs). Instead of each experiment calling the runner inline,
+//! an experiment *declares* its grid as a [`Plan`] (a deduplicated set of
+//! `Cell × seed` work items) and hands it to a [`CellExecutor`].
 //!
-//! 1. drops items whose results are already in its [`CellCache`]
-//!    (memoized on `(benchmark, policy, threads, seed, scale)`), and
-//! 2. fans the remainder out across OS threads ([`parallel_map`], built on
-//!    `std::thread::scope` — no dependencies, per the offline policy).
+//! Since PR 7 the machinery behind the executor — deduplicating plans,
+//! `parallel_map` fan-out, the memo cache with hit/miss counters, the
+//! disk store and the supervision layer — lives in `seer-store`'s generic
+//! [`Executor`]; this module is the *cell-shaped* instantiation: it picks
+//! `K = CellKey`, `V = RunMetrics`, supplies the run function (the
+//! runner's `execute_cell`), and keeps the harness-flavoured plan sugar
+//! (`add`/`add_grid` expanding a `HarnessConfig`) and assembly helpers
+//! (`metrics`/`cell`).
 //!
 //! Every cell's discrete-event run is a pure function of
 //! `(cell, seed, scale)` — seeded via [`sim_seed`], sharing no state with
-//! any other cell — so parallel execution is *bit-identical* to serial:
-//! results land in the cache keyed by their coordinates, and assembly
-//! order is dictated by the experiment code, never by thread completion
-//! order. The conformance replay fixtures and the executor equivalence
-//! test (`crates/harness/tests/executor.rs`) pin this.
+//! any other cell — so parallel execution is *bit-identical* to serial,
+//! and so is a disk-warmed or resumed run. The conformance replay
+//! fixtures and the executor equivalence test
+//! (`crates/harness/tests/executor.rs`) pin this.
 //!
-//! The cache exposes [`CellExecutor::hits`]/[`CellExecutor::misses`]
-//! counters, where a *miss* is an actual simulation performed. "Each
-//! unique cell is simulated exactly once per process" is therefore a
-//! testable claim — see `memoization_accounting` in the executor tests —
-//! not an aspiration.
-
-use std::collections::HashMap;
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+//! [`sim_seed`]: crate::runner::sim_seed
 
 use seer_runtime::RunMetrics;
+use seer_store::{ExecReport, Executor, Json, Store, SupervisorConfig, ToJson};
 
-use crate::runner::{run_once, Cell, CellResult, HarnessConfig};
+use crate::runner::{execute_cell, Cell, CellResult, HarnessConfig};
+
+pub use seer_store::parallel_map;
 
 /// The memoization key: every coordinate a cell's metrics depend on.
 ///
@@ -50,7 +46,8 @@ pub struct CellKey {
     pub policy: crate::policy::PolicyKind,
     /// Simulated threads.
     pub threads: usize,
-    /// Harness seed (the driver seed is derived via [`sim_seed`]).
+    /// Harness seed (the driver seed is derived via
+    /// [`crate::runner::sim_seed`]).
     pub seed: u64,
     /// Workload scale factor, as raw bits.
     scale_bits: u64,
@@ -83,6 +80,33 @@ impl CellKey {
     }
 }
 
+impl seer_store::StoreKey for CellKey {
+    const KIND: &'static str = "cell";
+
+    fn key_id(&self) -> String {
+        // Scale goes in as raw bits: the store must distinguish exactly
+        // the scales the memo cache distinguishes.
+        format!(
+            "{}/{}/t{}/s{}/x{:016x}",
+            self.benchmark.name(),
+            self.policy.name(),
+            self.threads,
+            self.seed,
+            self.scale_bits
+        )
+    }
+
+    fn key_json(&self) -> Json {
+        Json::object([
+            ("benchmark", self.benchmark.name().to_json()),
+            ("policy", self.policy.name().to_json()),
+            ("threads", self.threads.to_json()),
+            ("seed", self.seed.to_json()),
+            ("scale", self.scale().to_json()),
+        ])
+    }
+}
+
 /// A declarative, deduplicated set of `Cell × seed` work items.
 ///
 /// Experiments build a `Plan` up front (usually via [`Plan::add_grid`]),
@@ -91,8 +115,7 @@ impl CellKey {
 /// every Figure 3 cell) cost nothing even before the cache is consulted.
 #[derive(Debug, Default, Clone)]
 pub struct Plan {
-    items: Vec<CellKey>,
-    seen: HashSet<CellKey>,
+    inner: seer_store::Plan<CellKey>,
 }
 
 impl Plan {
@@ -104,12 +127,7 @@ impl Plan {
     /// Adds one `(cell, seed)` item at an explicit scale. Returns `true`
     /// if the item was new.
     pub fn add_one(&mut self, cell: Cell, seed: u64, scale: f64) -> bool {
-        let key = CellKey::new(cell, seed, scale);
-        let fresh = self.seen.insert(key);
-        if fresh {
-            self.items.push(key);
-        }
-        fresh
+        self.inner.add(CellKey::new(cell, seed, scale))
     }
 
     /// Adds `cell` under `cfg`: one item per seed `0..cfg.seeds` at
@@ -147,85 +165,69 @@ impl Plan {
 
     /// Number of unique work items.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.inner.len()
     }
 
     /// True when the plan holds no items.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.inner.is_empty()
     }
 
     /// The unique items, in insertion order.
     pub fn items(&self) -> &[CellKey] {
-        &self.items
+        self.inner.items()
     }
-}
 
-/// Applies `f` to every item of `items` on up to `jobs` OS threads,
-/// returning results in input order (never completion order).
-///
-/// Work is handed out through a shared atomic cursor, so threads stay busy
-/// regardless of per-item cost skew. `jobs <= 1` (or a single item) runs
-/// the plain serial loop — byte-for-byte the `--jobs 1` path, which the
-/// equivalence tests compare the parallel path against. A panic on any
-/// worker propagates out of the enclosing `std::thread::scope`.
-pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    let jobs = jobs.max(1).min(items.len().max(1));
-    if jobs == 1 {
-        return items.iter().map(f).collect();
+    /// The underlying generic plan.
+    pub fn as_generic(&self) -> &seer_store::Plan<CellKey> {
+        &self.inner
     }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                let result = f(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every slot")
-        })
-        .collect()
 }
 
 /// The parallel, memoizing executor behind every figure, table, bench and
 /// sweep: the workspace's one way to turn a [`Plan`] into metrics.
 ///
-/// Results are cached per [`CellKey`] for the lifetime of the executor, so
-/// any number of experiments sharing one executor simulate each unique
-/// cell exactly once. The executor is `Sync`; its workers only ever write
-/// distinct keys, and readers assemble results by key, which is why
-/// `--jobs N` is bit-identical to `--jobs 1` for every N.
+/// A thin instantiation of `seer-store`'s generic [`Executor`]: results
+/// are memoized per [`CellKey`] for the lifetime of the executor, served
+/// from an attached disk [`Store`] across processes, and computed under
+/// supervision (retry/deadline/panic isolation) when planned. The
+/// executor is `Sync`; its workers only ever write distinct keys, and
+/// readers assemble results by key, which is why `--jobs N` is
+/// bit-identical to `--jobs 1` for every N.
+#[derive(Debug)]
 pub struct CellExecutor {
     cfg: HarnessConfig,
-    cache: Mutex<HashMap<CellKey, RunMetrics>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: Executor<CellKey, RunMetrics>,
 }
 
 impl CellExecutor {
     /// An executor with an empty cache over `cfg` (which fixes the default
     /// seeds/scale for [`Plan::add`] expansion and `jobs` for fan-out).
+    /// No disk store; supervision from the environment knobs.
     pub fn new(cfg: HarnessConfig) -> Self {
-        Self {
-            cfg,
-            cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+        Self::with_options(cfg, None, SupervisorConfig::from_env())
+    }
+
+    /// [`CellExecutor::new`] plus a disk store: planned results load from
+    /// `store` before simulating and persist to it after.
+    pub fn with_store(cfg: HarnessConfig, store: Store) -> Self {
+        Self::with_options(cfg, Some(store), SupervisorConfig::from_env())
+    }
+
+    /// Fully explicit constructor.
+    pub fn with_options(
+        cfg: HarnessConfig,
+        store: Option<Store>,
+        supervisor: SupervisorConfig,
+    ) -> Self {
+        let mut inner = Executor::new(cfg.jobs, |key: CellKey| {
+            execute_cell(key.cell(), key.seed, key.scale(), None)
+        })
+        .with_supervisor(supervisor);
+        if let Some(store) = store {
+            inner = inner.with_store(store);
         }
+        Self { cfg, inner }
     }
 
     /// The executor's harness configuration.
@@ -233,55 +235,32 @@ impl CellExecutor {
         &self.cfg
     }
 
-    /// Simulates every not-yet-cached item of `plan`, fanning out across
-    /// `cfg.jobs` OS threads. Safe to call repeatedly and with
-    /// overlapping plans; already-cached items are counted as hits and
-    /// skipped.
-    pub fn execute(&self, plan: &Plan) {
-        let todo: Vec<CellKey> = {
-            let cache = self.cache.lock().expect("cell cache poisoned");
-            plan.items()
-                .iter()
-                .filter(|key| !cache.contains_key(key))
-                .copied()
-                .collect()
-        };
-        self.hits
-            .fetch_add((plan.len() - todo.len()) as u64, Ordering::Relaxed);
-        if todo.is_empty() {
-            return;
-        }
-        self.misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
-        let results = parallel_map(&todo, self.cfg.jobs, |key| {
-            run_once(key.cell(), key.seed, key.scale())
-        });
-        let mut cache = self.cache.lock().expect("cell cache poisoned");
-        for (key, metrics) in todo.into_iter().zip(results) {
-            cache.insert(key, metrics);
-        }
+    /// The attached disk store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.inner.store()
+    }
+
+    /// Resolves every item of `plan` — memo cache, then disk store, then
+    /// supervised simulation fanned out across `cfg.jobs` OS threads —
+    /// and returns the coverage report. Safe to call repeatedly and with
+    /// overlapping plans; a poisoned cell lands in
+    /// [`ExecReport::failed`] instead of aborting the process.
+    pub fn execute(&self, plan: &Plan) -> ExecReport<CellKey> {
+        self.inner.execute(&plan.inner)
     }
 
     /// Raw metrics of one `(cell, seed)` run at an explicit scale,
     /// simulating on a cache miss (serially — batch work belongs in a
     /// [`Plan`]).
     pub fn metrics_at(&self, cell: Cell, seed: u64, scale: f64) -> RunMetrics {
-        let key = CellKey::new(cell, seed, scale);
-        if let Some(m) = self
-            .cache
-            .lock()
-            .expect("cell cache poisoned")
-            .get(&key)
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return m.clone();
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let metrics = run_once(cell, seed, scale);
-        self.cache
-            .lock()
-            .expect("cell cache poisoned")
-            .insert(key, metrics.clone());
-        metrics
+        self.inner.get(CellKey::new(cell, seed, scale))
+    }
+
+    /// The memoized metrics of one item, without computing anything: the
+    /// non-panicking read used to assemble partial reports around failed
+    /// cells.
+    pub fn cached(&self, cell: Cell, seed: u64, scale: f64) -> Option<RunMetrics> {
+        self.inner.cached(&CellKey::new(cell, seed, scale))
     }
 
     /// Raw metrics of one `(cell, seed)` run at the executor's scale.
@@ -299,27 +278,22 @@ impl CellExecutor {
         CellResult::average(&runs)
     }
 
-    /// Cache reads that were served without simulating.
+    /// Memo-cache reads that were served without simulating.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.inner.hits()
     }
 
     /// Simulations actually performed (the duplicate-work counter: after
     /// any sequence of experiments this equals the number of unique
-    /// `(cell, seed, scale)` items they collectively declared).
+    /// `(cell, seed, scale)` items they collectively declared, minus
+    /// anything the disk store already had).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.inner.misses()
     }
-}
 
-impl std::fmt::Debug for CellExecutor {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CellExecutor")
-            .field("cfg", &self.cfg)
-            .field("cached", &self.cache.lock().map(|c| c.len()).unwrap_or(0))
-            .field("hits", &self.hits())
-            .field("misses", &self.misses())
-            .finish()
+    /// Results served from the disk store instead of simulating.
+    pub fn disk_hits(&self) -> u64 {
+        self.inner.disk_hits()
     }
 }
 
@@ -328,6 +302,7 @@ mod tests {
     use super::*;
     use crate::policy::PolicyKind;
     use seer_stamp::Benchmark;
+    use seer_store::StoreKey;
 
     fn cell(threads: usize) -> Cell {
         Cell {
@@ -355,15 +330,6 @@ mod tests {
     }
 
     #[test]
-    fn parallel_map_preserves_input_order() {
-        let items: Vec<usize> = (0..37).collect();
-        let serial = parallel_map(&items, 1, |&x| x * x);
-        let parallel = parallel_map(&items, 4, |&x| x * x);
-        assert_eq!(serial, parallel);
-        assert_eq!(parallel[5], 25);
-    }
-
-    #[test]
     fn executor_counts_hits_and_misses() {
         let cfg = HarnessConfig {
             seeds: 2,
@@ -385,6 +351,8 @@ mod tests {
         assert!(r.speedup > 0.0);
         assert_eq!(exec.misses(), 2);
         assert_eq!(exec.hits(), 4);
+        // No store attached: nothing can be a disk hit.
+        assert_eq!(exec.disk_hits(), 0);
     }
 
     #[test]
@@ -399,9 +367,31 @@ mod tests {
         plan.add(cell(4), &cfg);
         exec.execute(&plan);
         let cached = exec.metrics(cell(4), 0);
-        let fresh = run_once(cell(4), 0, 0.1);
+        let fresh = execute_cell(cell(4), 0, 0.1, None);
         assert_eq!(cached.trace_hash, fresh.trace_hash);
         assert_eq!(cached.makespan, fresh.makespan);
         assert_eq!(cached.commits, fresh.commits);
+    }
+
+    #[test]
+    fn cell_key_ids_are_unique_across_coordinates() {
+        let a = CellKey::new(cell(2), 0, 0.1);
+        let variants = [
+            CellKey::new(cell(4), 0, 0.1),
+            CellKey::new(cell(2), 1, 0.1),
+            CellKey::new(cell(2), 0, 0.2),
+            CellKey::new(
+                Cell {
+                    benchmark: Benchmark::Ssca2,
+                    policy: PolicyKind::Seer,
+                    threads: 2,
+                },
+                0,
+                0.1,
+            ),
+        ];
+        for v in &variants {
+            assert_ne!(a.key_id(), v.key_id(), "{v:?}");
+        }
     }
 }

@@ -16,7 +16,7 @@ use crate::exec::{parallel_map, CellExecutor, Plan};
 use crate::json::{Json, ToJson};
 use crate::policy::PolicyKind;
 use crate::report::{Panel, PercentTable, Series};
-use crate::runner::{default_jobs, geometric_mean, run_once, Cell};
+use crate::runner::{default_jobs, execute_cell, geometric_mean, Cell};
 
 /// Thread counts swept by Figure 3 / Figure 4.
 pub const THREADS_FULL: [usize; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
@@ -477,7 +477,7 @@ pub fn convergence(threads: usize, scale: f64) -> Vec<ConvergenceResult> {
 /// Quick single-cell speedup at harness seed 0 (used by benches and
 /// tests).
 pub fn quick_speedup(benchmark: Benchmark, policy: PolicyKind, threads: usize, scale: f64) -> f64 {
-    run_once(cell(benchmark, policy, threads), 0, scale).speedup()
+    execute_cell(cell(benchmark, policy, threads), 0, scale, None).speedup()
 }
 
 #[cfg(test)]

@@ -32,11 +32,17 @@
 
 pub mod exec;
 pub mod experiments;
-pub mod json;
 pub mod policy;
 pub mod report;
 pub mod runner;
 pub mod trace_export;
+
+/// The workspace's dependency-free JSON tree, re-exported from
+/// `seer-store` (its home since the result store landed) so existing
+/// `seer_harness::json::…` paths keep working.
+pub mod json {
+    pub use seer_store::json::*;
+}
 
 pub use exec::{parallel_map, CellExecutor, CellKey, Plan};
 pub use experiments::{
@@ -47,9 +53,10 @@ pub use json::{Json, ToJson};
 pub use policy::{PolicyKind, UnknownPolicy};
 pub use report::{maybe_write_json, Panel, PercentTable, Series};
 pub use runner::{
-    default_jobs, default_seeds, geometric_mean, run_cell, run_once, run_once_traced, sim_seed,
-    Cell, CellResult, HarnessConfig,
+    default_jobs, default_seeds, execute_cell, geometric_mean, run_cell, sim_seed, Cell,
+    CellResult, HarnessConfig,
 };
+pub use seer_store::{ExecReport, FailedItem, RunFailure, Store, SupervisorConfig};
 pub use trace_export::{
     chrome_trace, inference_json, lifecycle_json, trace_jsonl, write_chrome_trace,
     write_trace_jsonl,

@@ -146,38 +146,39 @@ impl CellResult {
 /// measurements. The memoizing equivalent is `CellExecutor::cell`.
 pub fn run_cell(cell: Cell, cfg: &HarnessConfig) -> CellResult {
     let runs: Vec<RunMetrics> = (0..cfg.seeds)
-        .map(|seed| run_once(cell, seed, cfg.scale))
+        .map(|seed| execute_cell(cell, seed, cfg.scale, None))
         .collect();
     CellResult::average(&runs)
 }
 
-/// Runs one seed of `cell` and returns the raw metrics.
-pub fn run_once(cell: Cell, seed: u64, scale: f64) -> RunMetrics {
-    let mut workload = cell.benchmark.instantiate_scaled(cell.threads, scale);
-    let blocks = workload.num_blocks();
-    let mut sched = cell.policy.build(cell.threads, blocks);
-    let cfg = DriverConfig::paper_machine(cell.threads, sim_seed(seed));
-    let metrics = run(&mut workload, sched.as_mut(), &cfg);
-    assert!(!metrics.truncated, "run truncated: {cell:?} seed {seed}");
-    metrics
-}
-
-/// [`run_once`] with decision-provenance collection: identical workload,
-/// scheduler construction and seed derivation, with the run's lifecycle
-/// and inference streams handed to `sink`. The returned metrics (and in
-/// particular `trace_hash`) are bit-identical to [`run_once`] — tracing
-/// is a sink, not a flag.
-pub fn run_once_traced(
+/// The one cell-execution primitive: runs one seed of `cell` and returns
+/// the raw metrics. With a sink, the run's lifecycle and inference
+/// streams are collected into it; per the sink-not-flag discipline the
+/// returned metrics (and in particular `trace_hash`) are bit-identical
+/// either way.
+///
+/// This is the mechanism under `RunRequest::cell` (the workspace's
+/// public entry-point builder, in `seer-scenario`); harness-internal
+/// code and the executor's run function call it directly.
+///
+/// # Panics
+/// If the run trips the driver's event safety valve (`truncated`) — the
+/// simulated-cycle budget. Under a supervised executor that panic is
+/// caught and reported as a failed cell, not a process abort.
+pub fn execute_cell(
     cell: Cell,
     seed: u64,
     scale: f64,
-    sink: &mut dyn TraceSink,
+    sink: Option<&mut dyn TraceSink>,
 ) -> RunMetrics {
     let mut workload = cell.benchmark.instantiate_scaled(cell.threads, scale);
     let blocks = workload.num_blocks();
     let mut sched = cell.policy.build(cell.threads, blocks);
     let cfg = DriverConfig::paper_machine(cell.threads, sim_seed(seed));
-    let metrics = run_traced(&mut workload, sched.as_mut(), &cfg, sink);
+    let metrics = match sink {
+        None => run(&mut workload, sched.as_mut(), &cfg),
+        Some(sink) => run_traced(&mut workload, sched.as_mut(), &cfg, sink),
+    };
     assert!(!metrics.truncated, "run truncated: {cell:?} seed {seed}");
     metrics
 }

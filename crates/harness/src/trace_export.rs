@@ -1,6 +1,6 @@
 //! Export of decision-provenance traces: JSONL and Chrome trace-event.
 //!
-//! A [`MemoryTraceSink`] collected by `run_once_traced` serializes to:
+//! A [`MemoryTraceSink`] collected through a traced `RunRequest` serializes to:
 //!
 //! * **JSONL** ([`trace_jsonl`]) — one record per line, both streams
 //!   merged chronologically (ties: lifecycle before inference; within a

@@ -1,22 +1,21 @@
-//! The parallel, memoizing scenario executor.
+//! The parallel, memoizing, store-backed scenario executor.
 //!
-//! Mirrors the harness's `Plan`/`CellExecutor` pattern (DESIGN.md §9) at
-//! scenario granularity: work items are `(scenario, policy, seed)`
-//! coordinates, deduplicated at plan-build time, memoized for the
-//! executor's lifetime, and fanned out over the harness's `parallel_map`.
-//! Every scenario run is an independent deterministic simulation, so
-//! parallel execution is bit-identical to serial — the conformance suite's
-//! scenario fixtures pin exactly that.
+//! A thin instantiation of the workspace-generic
+//! [`Executor`](seer_store::Executor) (DESIGN.md §9/§13) at scenario
+//! granularity: work items are `(scenario, policy, seed)` coordinates,
+//! deduplicated at plan-build time, memoized for the executor's lifetime,
+//! persisted to an attached [`Store`], and supervised (retries, deadline,
+//! panic isolation) exactly like harness cells. Every scenario run is an
+//! independent deterministic simulation, so parallel and store-warmed
+//! execution are bit-identical to a serial cold run — the conformance
+//! suite's scenario fixtures pin exactly that.
 
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-
-use seer_harness::{parallel_map, PolicyKind};
+use seer_harness::PolicyKind;
+use seer_store::{ExecReport, Executor, Store, SupervisorConfig};
 
 use crate::library;
-use crate::runner::{run_scenario, ScenarioOutcome};
-use crate::spec::ScenarioSpec;
+use crate::request::RunRequest;
+use crate::runner::ScenarioOutcome;
 
 /// The memoization key: every coordinate a scenario outcome depends on.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -32,8 +31,7 @@ pub struct ScenarioKey {
 /// A deduplicated set of scenario work items.
 #[derive(Debug, Default, Clone)]
 pub struct ScenarioPlan {
-    items: Vec<ScenarioKey>,
-    seen: HashSet<ScenarioKey>,
+    inner: seer_store::Plan<ScenarioKey>,
 }
 
 impl ScenarioPlan {
@@ -44,16 +42,11 @@ impl ScenarioPlan {
 
     /// Adds one work item; returns `true` if it was new.
     pub fn add(&mut self, scenario: &str, policy: PolicyKind, seed: u64) -> bool {
-        let key = ScenarioKey {
+        self.inner.add(ScenarioKey {
             scenario: scenario.to_string(),
             policy,
             seed,
-        };
-        let fresh = self.seen.insert(key.clone());
-        if fresh {
-            self.items.push(key);
-        }
-        fresh
+        })
     }
 
     /// Adds the full `scenarios × policies × seeds` grid.
@@ -69,122 +62,119 @@ impl ScenarioPlan {
 
     /// Number of unique work items.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.inner.len()
     }
 
     /// True when the plan holds no items.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.inner.is_empty()
     }
 
     /// The unique items, in insertion order.
     pub fn items(&self) -> &[ScenarioKey] {
-        &self.items
+        self.inner.items()
+    }
+
+    /// The underlying generic plan.
+    pub fn as_generic(&self) -> &seer_store::Plan<ScenarioKey> {
+        &self.inner
     }
 }
 
 /// Parallel, memoizing executor over the built-in scenario library.
+#[derive(Debug)]
 pub struct ScenarioExecutor {
-    jobs: usize,
-    cache: Mutex<HashMap<ScenarioKey, ScenarioOutcome>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: Executor<ScenarioKey, ScenarioOutcome>,
 }
 
 impl ScenarioExecutor {
-    /// An executor fanning uncached work out across `jobs` OS threads.
+    /// An executor fanning uncached work out across `jobs` OS threads,
+    /// supervised per the `SEER_RETRIES`/`SEER_CELL_TIMEOUT_MS`
+    /// environment.
     pub fn new(jobs: usize) -> Self {
-        Self {
-            jobs: jobs.max(1),
-            cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        Self::with_options(jobs, None, SupervisorConfig::from_env())
     }
 
-    /// Runs every not-yet-cached item of `plan`.
+    /// Like [`new`](Self::new), but warm-started from (and persisting
+    /// into) `store`.
+    pub fn with_store(jobs: usize, store: Store) -> Self {
+        Self::with_options(jobs, Some(store), SupervisorConfig::from_env())
+    }
+
+    /// Full-control constructor: explicit store attachment and
+    /// supervision policy.
+    pub fn with_options(
+        jobs: usize,
+        store: Option<Store>,
+        supervisor: SupervisorConfig,
+    ) -> Self {
+        let mut inner = Executor::new(jobs, |key: ScenarioKey| {
+            let spec = library::builtin(&key.scenario)
+                .unwrap_or_else(|| panic!("unknown scenario {:?}", key.scenario));
+            RunRequest::scenario(&spec)
+                .policy(key.policy)
+                .seed(key.seed)
+                .run()
+        })
+        .with_supervisor(supervisor);
+        if let Some(store) = store {
+            inner = inner.with_store(store);
+        }
+        Self { inner }
+    }
+
+    /// Runs every not-yet-cached item of `plan`, reporting coverage.
+    ///
+    /// Unknown scenario names, panicking runs, and deadline overruns
+    /// degrade into [`FailedItem`](seer_store::FailedItem)s in the
+    /// report rather than aborting the process.
+    pub fn execute(&self, plan: &ScenarioPlan) -> ExecReport<ScenarioKey> {
+        self.inner.execute(plan.as_generic())
+    }
+
+    /// The outcome of one work item, running it (unsupervised) on a
+    /// cache miss.
     ///
     /// # Panics
-    /// If an item names a scenario the library does not contain (the CLI
-    /// validates names before building plans).
-    pub fn execute(&self, plan: &ScenarioPlan) {
-        let todo: Vec<ScenarioKey> = {
-            let cache = self.cache.lock().expect("scenario cache poisoned");
-            plan.items()
-                .iter()
-                .filter(|key| !cache.contains_key(key))
-                .cloned()
-                .collect()
-        };
-        self.hits
-            .fetch_add((plan.len() - todo.len()) as u64, Ordering::Relaxed);
-        if todo.is_empty() {
-            return;
-        }
-        self.misses.fetch_add(todo.len() as u64, Ordering::Relaxed);
-        let specs: Vec<(ScenarioKey, ScenarioSpec)> = todo
-            .into_iter()
-            .map(|key| {
-                let spec = library::builtin(&key.scenario)
-                    .unwrap_or_else(|| panic!("unknown scenario {:?}", key.scenario));
-                (key, spec)
-            })
-            .collect();
-        let results = parallel_map(&specs, self.jobs, |(key, spec)| {
-            run_scenario(spec, key.policy, key.seed)
-        });
-        let mut cache = self.cache.lock().expect("scenario cache poisoned");
-        for ((key, _), outcome) in specs.into_iter().zip(results) {
-            cache.insert(key, outcome);
-        }
-    }
-
-    /// The outcome of one work item, running it on a cache miss.
+    /// If the item names a scenario the library does not contain (the
+    /// CLI validates names before building plans).
     pub fn outcome(&self, scenario: &str, policy: PolicyKind, seed: u64) -> ScenarioOutcome {
-        let key = ScenarioKey {
+        self.inner.get(ScenarioKey {
             scenario: scenario.to_string(),
             policy,
             seed,
-        };
-        if let Some(hit) = self
-            .cache
-            .lock()
-            .expect("scenario cache poisoned")
-            .get(&key)
-        {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let spec = library::builtin(scenario)
-            .unwrap_or_else(|| panic!("unknown scenario {scenario:?}"));
-        let outcome = run_scenario(&spec, policy, seed);
-        self.cache
-            .lock()
-            .expect("scenario cache poisoned")
-            .insert(key, outcome.clone());
-        outcome
+        })
     }
 
-    /// Cache reads served without simulating.
+    /// The memoized outcome of one item, without computing anything: the
+    /// non-panicking read used to assemble partial reports around failed
+    /// items.
+    pub fn cached(&self, scenario: &str, policy: PolicyKind, seed: u64) -> Option<ScenarioOutcome> {
+        self.inner.cached(&ScenarioKey {
+            scenario: scenario.to_string(),
+            policy,
+            seed,
+        })
+    }
+
+    /// The attached result store, if any.
+    pub fn store(&self) -> Option<&Store> {
+        self.inner.store()
+    }
+
+    /// Memo-cache reads served without touching disk or simulating.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.inner.hits()
     }
 
     /// Scenario simulations actually performed.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.inner.misses()
     }
-}
 
-impl std::fmt::Debug for ScenarioExecutor {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ScenarioExecutor")
-            .field("jobs", &self.jobs)
-            .field("cached", &self.cache.lock().map(|c| c.len()).unwrap_or(0))
-            .field("hits", &self.hits())
-            .field("misses", &self.misses())
-            .finish()
+    /// Results loaded from the attached store instead of simulated.
+    pub fn disk_hits(&self) -> u64 {
+        self.inner.disk_hits()
     }
 }
 
@@ -207,7 +197,8 @@ mod tests {
         let mut plan = ScenarioPlan::new();
         plan.add_grid(&["churn-storm"], &[PolicyKind::Rtm, PolicyKind::Seer], 1);
         let serial = ScenarioExecutor::new(1);
-        serial.execute(&plan);
+        let report = serial.execute(&plan);
+        assert!(report.complete(), "no failures expected: {report:?}");
         assert_eq!(serial.misses(), 2);
         serial.execute(&plan);
         assert_eq!(serial.misses(), 2, "re-execution hits the cache");
@@ -220,5 +211,18 @@ mod tests {
             assert_eq!(a.metrics.trace_hash, b.metrics.trace_hash, "{key:?}");
             assert_eq!(a.report, b.report, "{key:?}");
         }
+    }
+
+    #[test]
+    fn unknown_scenario_degrades_into_a_failed_item() {
+        let mut plan = ScenarioPlan::new();
+        plan.add("no-such-scenario", PolicyKind::Rtm, 0);
+        let exec =
+            ScenarioExecutor::with_options(1, None, SupervisorConfig::fail_fast());
+        let report = exec.execute(&plan);
+        assert!(!report.complete());
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].key.scenario, "no-such-scenario");
+        assert_eq!(exec.misses(), 0, "failed runs are not counted as computed");
     }
 }

@@ -13,30 +13,35 @@
 //!   serializes to the workspace's dependency-free JSON.
 //! * [`ScenarioWorkload`] — composes the phases' STAMP models into one
 //!   `Workload`, pinning retries and commits to the issuing model.
-//! * [`run_scenario`] — compiles the spec to the driver's timed-directive
-//!   script and runs it through the ordinary traced driver; every
-//!   disturbance is a scheduled discrete event, so runs are bit-identical
-//!   on replay and under any `--jobs` fan-out.
+//! * [`RunRequest`] — the workspace's one entry point for runs: compiles
+//!   the spec to the driver's timed-directive script and runs it through
+//!   the ordinary traced driver; every disturbance is a scheduled discrete
+//!   event, so runs are bit-identical on replay and under any `--jobs`
+//!   fan-out.
 //! * [`RecoveryReport`] — scores the scheduler's reaction on windowed
 //!   metrics and the inference trace: regression depth, time to
 //!   re-converge, pair-set stabilization, steady-state delta.
-//! * [`ScenarioExecutor`] — the memoizing, parallel executor over the
-//!   built-in [`library`] (phase-flip, churn-storm, stats-amnesia,
-//!   threshold-kick, capacity-cliff, hot-set-drift).
+//! * [`ScenarioExecutor`] — the memoizing, parallel, store-backed
+//!   executor over the built-in [`library`] (phase-flip, churn-storm,
+//!   stats-amnesia, threshold-kick, capacity-cliff, hot-set-drift).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod exec;
 pub mod library;
+pub mod persist;
 pub mod report;
+pub mod request;
 pub mod runner;
 pub mod spec;
 pub mod workload;
 
 pub use exec::{ScenarioExecutor, ScenarioKey, ScenarioPlan};
+pub use persist::report_from_json;
 pub use report::{RecoveryReport, RecoveryScore, RECOVERY_FRACTION};
-pub use runner::{run_scenario, run_scenario_traced, run_scenario_with, ScenarioOutcome};
+pub use request::{CellRun, RunRequest, ScenarioRun};
+pub use runner::{execute_scenario, ScenarioOutcome};
 pub use spec::{
     benchmark_from_name, ChurnSpec, FaultKind, FaultSpec, PhaseSpec, ScenarioSpec,
 };

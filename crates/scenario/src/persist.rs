@@ -1,0 +1,230 @@
+//! Store identity and lossless shard codec for scenario outcomes.
+//!
+//! `seer-store` owns the traits and the `RunMetrics` codec; this module
+//! adds the scenario-shaped halves next to the types they serialize:
+//! [`ScenarioKey`] gets a [`StoreKey`] identity, and [`ScenarioOutcome`]
+//! gets a [`Persist`] round-trip covering all three of its parts —
+//! metrics (via the store's `RunMetrics` codec), the windowed slice, and
+//! the recovery report. The report's `ToJson` already defines the
+//! committed fixture schema, so persistence reuses it verbatim and only
+//! adds the parser.
+
+use seer_harness::{Json, ToJson};
+use seer_runtime::{MetricsWindow, RunMetrics, WindowedMetrics};
+use seer_store::{Persist, StoreKey};
+
+use crate::exec::ScenarioKey;
+use crate::report::{RecoveryReport, RecoveryScore};
+use crate::runner::ScenarioOutcome;
+
+impl StoreKey for ScenarioKey {
+    const KIND: &'static str = "scenario";
+
+    fn key_id(&self) -> String {
+        format!("{}/{}/s{}", self.scenario, self.policy.name(), self.seed)
+    }
+
+    fn key_json(&self) -> Json {
+        Json::object([
+            ("scenario", self.scenario.to_json()),
+            ("policy", self.policy.name().to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+fn field<'a>(json: &'a Json, name: &str) -> Result<&'a Json, String> {
+    json.get(name).ok_or_else(|| format!("missing field {name:?}"))
+}
+
+fn u64_field(json: &Json, name: &str) -> Result<u64, String> {
+    field(json, name)?
+        .as_u64()
+        .ok_or_else(|| format!("field {name:?} is not a u64"))
+}
+
+fn f64_field(json: &Json, name: &str) -> Result<f64, String> {
+    field(json, name)?
+        .as_f64()
+        .ok_or_else(|| format!("field {name:?} is not a number"))
+}
+
+fn str_field(json: &Json, name: &str) -> Result<String, String> {
+    Ok(field(json, name)?
+        .as_str()
+        .ok_or_else(|| format!("field {name:?} is not a string"))?
+        .to_string())
+}
+
+fn opt_u64_field(json: &Json, name: &str) -> Result<Option<u64>, String> {
+    match field(json, name)? {
+        Json::Null => Ok(None),
+        v => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field {name:?} is neither null nor a u64")),
+    }
+}
+
+fn window_json(w: &MetricsWindow) -> Json {
+    Json::object([
+        ("from", w.from.to_json()),
+        ("to", w.to.to_json()),
+        ("commits", w.commits.to_json()),
+        ("htm_commits", w.htm_commits.to_json()),
+        ("fallback_commits", w.fallback_commits.to_json()),
+        ("aborts", w.aborts.to_json()),
+        ("attempts", w.attempts.to_json()),
+        ("fallbacks_entered", w.fallbacks_entered.to_json()),
+    ])
+}
+
+fn window_from_json(json: &Json) -> Result<MetricsWindow, String> {
+    Ok(MetricsWindow {
+        from: u64_field(json, "from")?,
+        to: u64_field(json, "to")?,
+        commits: u64_field(json, "commits")?,
+        htm_commits: u64_field(json, "htm_commits")?,
+        fallback_commits: u64_field(json, "fallback_commits")?,
+        aborts: u64_field(json, "aborts")?,
+        attempts: u64_field(json, "attempts")?,
+        fallbacks_entered: u64_field(json, "fallbacks_entered")?,
+    })
+}
+
+fn score_from_json(json: &Json) -> Result<RecoveryScore, String> {
+    Ok(RecoveryScore {
+        label: str_field(json, "label")?,
+        at: u64_field(json, "at")?,
+        baseline_throughput: f64_field(json, "baseline_throughput")?,
+        min_throughput: f64_field(json, "min_throughput")?,
+        regression_depth: f64_field(json, "regression_depth")?,
+        reconverged_at: opt_u64_field(json, "reconverged_at")?,
+        time_to_reconverge: opt_u64_field(json, "time_to_reconverge")?,
+        pairs_stable_at: opt_u64_field(json, "pairs_stable_at")?,
+    })
+}
+
+/// Parses a [`RecoveryReport`] back from its committed `ToJson` schema —
+/// the inverse the fixtures never needed until results became durable.
+pub fn report_from_json(json: &Json) -> Result<RecoveryReport, String> {
+    let scores = field(json, "scores")?
+        .as_array()
+        .ok_or("\"scores\" is not an array")?
+        .iter()
+        .map(score_from_json)
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(RecoveryReport {
+        scenario: str_field(json, "scenario")?,
+        policy: str_field(json, "policy")?,
+        seed: u64_field(json, "seed")?,
+        window: u64_field(json, "window")?,
+        makespan: u64_field(json, "makespan")?,
+        commits: u64_field(json, "commits")?,
+        throughput: f64_field(json, "throughput")?,
+        trace_hash: u64_field(json, "trace_hash")?,
+        steady_state_delta: f64_field(json, "steady_state_delta")?,
+        recovered: field(json, "recovered")?
+            .as_bool()
+            .ok_or("\"recovered\" is not a bool")?,
+        scores,
+    })
+}
+
+impl Persist for ScenarioOutcome {
+    fn to_store_json(&self) -> Json {
+        Json::object([
+            ("metrics", self.metrics.to_store_json()),
+            (
+                "windows",
+                Json::object([
+                    ("width", self.windows.width().to_json()),
+                    (
+                        "windows",
+                        Json::Array(self.windows.windows().iter().map(window_json).collect()),
+                    ),
+                ]),
+            ),
+            ("report", self.report.to_json()),
+        ])
+    }
+
+    fn from_store_json(json: &Json) -> Result<Self, String> {
+        let metrics = RunMetrics::from_store_json(field(json, "metrics")?)
+            .map_err(|e| format!("metrics: {e}"))?;
+        let windows_json = field(json, "windows")?;
+        let width = u64_field(windows_json, "width")?;
+        if width == 0 {
+            return Err("window width must be positive".to_string());
+        }
+        let windows = field(windows_json, "windows")?
+            .as_array()
+            .ok_or("\"windows\" is not an array")?
+            .iter()
+            .map(window_from_json)
+            .collect::<Result<Vec<_>, String>>()?;
+        let report = report_from_json(field(json, "report")?)
+            .map_err(|e| format!("report: {e}"))?;
+        Ok(ScenarioOutcome {
+            metrics,
+            windows: WindowedMetrics::from_windows(width, windows),
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+    use crate::request::RunRequest;
+    use seer_harness::PolicyKind;
+
+    #[test]
+    fn scenario_outcome_round_trip_is_lossless() {
+        let spec = library::builtin("stats-amnesia").unwrap();
+        let outcome = RunRequest::scenario(&spec).policy(PolicyKind::Seer).run();
+        let json = outcome.to_store_json();
+        // Through the tree and through the actual byte serialization.
+        let back = ScenarioOutcome::from_store_json(&json).expect("round trip");
+        assert_eq!(back.metrics.trace_hash, outcome.metrics.trace_hash);
+        assert_eq!(format!("{:?}", back.metrics), format!("{:?}", outcome.metrics));
+        assert_eq!(back.windows, outcome.windows);
+        assert_eq!(back.report, outcome.report);
+        let reparsed = Json::parse(&json.to_string_compact()).expect("parse");
+        let back2 = ScenarioOutcome::from_store_json(&reparsed).expect("byte round trip");
+        assert_eq!(back2.report, outcome.report);
+        assert_eq!(back2.windows, outcome.windows);
+    }
+
+    #[test]
+    fn malformed_outcome_is_an_error_not_a_panic() {
+        assert!(ScenarioOutcome::from_store_json(&Json::Null).is_err());
+        let spec = library::builtin("churn-storm").unwrap();
+        let outcome = RunRequest::scenario(&spec).policy(PolicyKind::Rtm).run();
+        let mut json = outcome.to_store_json();
+        if let Json::Object(fields) = &mut json {
+            for (k, v) in fields.iter_mut() {
+                if k == "windows" {
+                    *v = Json::object([("width", 0u64.to_json()), ("windows", Json::Array(vec![]))]);
+                }
+            }
+        }
+        assert!(ScenarioOutcome::from_store_json(&json).is_err());
+    }
+
+    #[test]
+    fn key_ids_are_unique() {
+        let a = ScenarioKey {
+            scenario: "phase-flip".into(),
+            policy: PolicyKind::Seer,
+            seed: 0,
+        };
+        let mut b = a.clone();
+        b.seed = 1;
+        let mut c = a.clone();
+        c.policy = PolicyKind::Rtm;
+        assert_ne!(a.key_id(), b.key_id());
+        assert_ne!(a.key_id(), c.key_id());
+    }
+}

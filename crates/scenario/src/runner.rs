@@ -8,10 +8,14 @@
 //! `MemoryTraceSink` — per the sink-not-flag discipline this cannot change
 //! the event schedule, so the reported `trace_hash` is identical to an
 //! untraced run of the same coordinates.
+//!
+//! [`execute_scenario`] is the one primitive (the scenario counterpart of
+//! the harness's `execute_cell`); the public entry point is the
+//! [`RunRequest`](crate::request::RunRequest) builder.
 
-use seer_harness::{sim_seed, PolicyKind};
+use seer_harness::sim_seed;
 use seer_runtime::{
-    run_traced, DriverConfig, MemoryTraceSink, RunMetrics, Scheduler, WindowedMetrics, Workload,
+    run_traced, DriverConfig, MemoryTraceSink, RunMetrics, Scheduler, WindowedMetrics,
 };
 
 use crate::report::RecoveryReport;
@@ -29,59 +33,34 @@ pub struct ScenarioOutcome {
     pub report: RecoveryReport,
 }
 
-/// Runs `spec` under a named harness policy.
+/// The one scenario-execution primitive: runs `spec` under an explicit
+/// scheduler, labelled `policy_label` in the report. With a sink, the
+/// run's lifecycle and inference streams remain available to the caller
+/// afterwards; per the sink-not-flag discipline the outcome is
+/// bit-identical either way.
+///
+/// This is the mechanism under `RunRequest::scenario` (the workspace's
+/// public entry-point builder); the executor's run function calls it
+/// directly.
 ///
 /// # Panics
-/// If the spec fails [`ScenarioSpec::validate`] or the run trips the
-/// event safety valve.
-pub fn run_scenario(spec: &ScenarioSpec, policy: PolicyKind, seed: u64) -> ScenarioOutcome {
-    run_scenario_traced(spec, policy, seed, &mut MemoryTraceSink::new())
-}
-
-/// Like [`run_scenario`], but records the run into a caller-owned sink so
-/// the lifecycle/inference streams can be exported afterwards (the CLI's
-/// `seer scenario run --trace`). Per the sink-not-flag discipline the
-/// outcome is bit-identical to [`run_scenario`].
-pub fn run_scenario_traced(
-    spec: &ScenarioSpec,
-    policy: PolicyKind,
-    seed: u64,
-    sink: &mut MemoryTraceSink,
-) -> ScenarioOutcome {
-    let workload = ScenarioWorkload::new(spec);
-    let mut sched = policy.build(spec.threads, workload.num_blocks());
-    run_with(spec, workload, sched.as_mut(), policy.name(), seed, sink)
-}
-
-/// Runs `spec` under an explicit scheduler (e.g. the conformance layer's
-/// reference SGL-only scheduler); `policy_label` names it in the report.
-pub fn run_scenario_with(
+/// If the spec fails [`ScenarioSpec::validate`], the run trips the event
+/// safety valve, or the windowed conservation laws are violated. Under a
+/// supervised executor those panics are caught and reported as a failed
+/// item, not a process abort.
+pub fn execute_scenario(
     spec: &ScenarioSpec,
     sched: &mut dyn Scheduler,
     policy_label: &str,
     seed: u64,
+    sink: Option<&mut MemoryTraceSink>,
 ) -> ScenarioOutcome {
-    run_with(
-        spec,
-        ScenarioWorkload::new(spec),
-        sched,
-        policy_label,
-        seed,
-        &mut MemoryTraceSink::new(),
-    )
-}
-
-fn run_with(
-    spec: &ScenarioSpec,
-    mut workload: ScenarioWorkload,
-    sched: &mut dyn Scheduler,
-    policy_label: &str,
-    seed: u64,
-    sink: &mut MemoryTraceSink,
-) -> ScenarioOutcome {
+    let mut local = MemoryTraceSink::new();
+    let sink = sink.unwrap_or(&mut local);
     if let Err(e) = spec.validate() {
         panic!("invalid scenario {:?}: {e}", spec.name);
     }
+    let mut workload = ScenarioWorkload::new(spec);
     let mut cfg = DriverConfig::paper_machine(spec.threads, sim_seed(seed));
     cfg.script = spec.compile();
     let metrics = run_traced(&mut workload, sched, &cfg, sink);
@@ -111,9 +90,14 @@ fn run_with(
 mod tests {
     use super::*;
     use crate::library;
+    use crate::request::RunRequest;
     use crate::spec::{FaultKind, FaultSpec};
-    use seer_harness::ToJson;
+    use seer_harness::{PolicyKind, ToJson};
     use seer_stamp::Benchmark;
+
+    fn run_seer(spec: &ScenarioSpec, policy: PolicyKind, seed: u64) -> ScenarioOutcome {
+        RunRequest::scenario(spec).policy(policy).seed(seed).run()
+    }
 
     #[test]
     fn stationary_scenario_matches_plain_harness_run() {
@@ -121,16 +105,14 @@ mod tests {
         // same commit total and trace hash as the plain harness runner for
         // the same (benchmark, policy, threads, seed, scale) coordinates.
         let spec = ScenarioSpec::stationary("plain", Benchmark::Ssca2, 4, 0.08, 100_000);
-        let outcome = run_scenario(&spec, PolicyKind::Rtm, 0);
-        let plain = seer_harness::run_once(
-            seer_harness::Cell {
-                benchmark: Benchmark::Ssca2,
-                policy: PolicyKind::Rtm,
-                threads: 4,
-            },
-            0,
-            0.08,
-        );
+        let outcome = run_seer(&spec, PolicyKind::Rtm, 0);
+        let plain = RunRequest::cell(seer_harness::Cell {
+            benchmark: Benchmark::Ssca2,
+            policy: PolicyKind::Rtm,
+            threads: 4,
+        })
+        .scale(0.08)
+        .run();
         assert_eq!(outcome.metrics.commits, plain.commits);
         assert_eq!(outcome.metrics.trace_hash, plain.trace_hash);
         assert_eq!(outcome.metrics.makespan, plain.makespan);
@@ -139,8 +121,8 @@ mod tests {
     #[test]
     fn scenario_replays_bit_identically() {
         let spec = library::builtin("stats-amnesia").unwrap();
-        let a = run_scenario(&spec, PolicyKind::Seer, 0);
-        let b = run_scenario(&spec, PolicyKind::Seer, 0);
+        let a = run_seer(&spec, PolicyKind::Seer, 0);
+        let b = run_seer(&spec, PolicyKind::Seer, 0);
         assert_eq!(a.metrics.trace_hash, b.metrics.trace_hash);
         assert_eq!(a.metrics.commits, b.metrics.commits);
         assert_eq!(a.report, b.report);
@@ -158,8 +140,8 @@ mod tests {
             fault: FaultKind::StallLockHolder { cycles: 120_000 },
         });
         let clean = ScenarioSpec::stationary("f", Benchmark::KmeansHigh, 4, 0.3, 100_000);
-        let with_fault = run_scenario(&faulty, PolicyKind::Rtm, 1);
-        let without = run_scenario(&clean, PolicyKind::Rtm, 1);
+        let with_fault = run_seer(&faulty, PolicyKind::Rtm, 1);
+        let without = run_seer(&clean, PolicyKind::Rtm, 1);
         assert_eq!(
             with_fault.metrics.commits, without.metrics.commits,
             "faults perturb timing, never the amount of work"
@@ -173,8 +155,8 @@ mod tests {
     #[test]
     fn seer_reports_pair_stabilization_and_baselines_do_not() {
         let spec = library::builtin("stats-amnesia").unwrap();
-        let seer = run_scenario(&spec, PolicyKind::Seer, 0);
-        let rtm = run_scenario(&spec, PolicyKind::Rtm, 0);
+        let seer = run_seer(&spec, PolicyKind::Seer, 0);
+        let rtm = run_seer(&spec, PolicyKind::Rtm, 0);
         assert!(
             seer.report.scores.iter().any(|s| s.pairs_stable_at.is_some()),
             "Seer emits inference rounds: {:?}",

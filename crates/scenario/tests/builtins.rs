@@ -2,12 +2,12 @@
 //! scheduler (seed 0 — runs are deterministic, so these are exact).
 
 use seer_harness::PolicyKind;
-use seer_scenario::{library, run_scenario};
+use seer_scenario::{library, RunRequest};
 
 #[test]
 fn every_builtin_recovers_under_seer() {
     for spec in library::all() {
-        let outcome = run_scenario(&spec, PolicyKind::Seer, 0);
+        let outcome = RunRequest::scenario(&spec).policy(PolicyKind::Seer).run();
         let report = &outcome.report;
         assert!(
             !report.scores.is_empty(),
@@ -50,7 +50,7 @@ fn heavy_faults_cause_real_regressions() {
     for (name, min_depth) in [("capacity-cliff", 0.3), ("churn-storm", 0.3), ("hot-set-drift", 0.2)]
     {
         let spec = library::builtin(name).unwrap();
-        let outcome = run_scenario(&spec, PolicyKind::Seer, 0);
+        let outcome = RunRequest::scenario(&spec).policy(PolicyKind::Seer).run();
         let deepest = outcome
             .report
             .scores

@@ -11,7 +11,8 @@
 //! kmeans-low, ssca2, vacation-high, vacation-low, yada (default:
 //! vacation-high).
 
-use seer_harness::{run_once, Cell, PolicyKind};
+use seer_harness::{Cell, PolicyKind};
+use seer_scenario::RunRequest;
 use seer_stamp::Benchmark;
 
 fn parse_benchmark(name: &str) -> Option<Benchmark> {
@@ -47,15 +48,11 @@ fn main() {
         let mut aborts = String::new();
         let mut fallbacks = String::new();
         for policy in policies {
-            let m = run_once(
-                Cell {
+            let m = RunRequest::cell(Cell {
                     benchmark,
                     policy,
                     threads,
-                },
-                0,
-                0.5,
-            );
+                }).scale(0.5).run();
             let s = m.speedup();
             if s > best.0 {
                 best = (s, policy.label());

@@ -4,22 +4,19 @@
 
 use seer::{Seer, SeerConfig};
 use seer_baselines::Hle;
-use seer_harness::{geometric_mean, run_once, Cell, PolicyKind};
+use seer_harness::{geometric_mean, Cell, PolicyKind};
+use seer_scenario::RunRequest;
 use seer_runtime::{run, DriverConfig, TxMode, Workload};
 use seer_stamp::Benchmark;
 
 const SCALE: f64 = 0.3;
 
 fn speedup(benchmark: Benchmark, policy: PolicyKind, threads: usize) -> f64 {
-    run_once(
-        Cell {
+    RunRequest::cell(Cell {
             benchmark,
             policy,
             threads,
-        },
-        1,
-        SCALE,
-    )
+        }).seed(1).scale(SCALE).run()
     .speedup()
 }
 
@@ -27,15 +24,11 @@ fn speedup(benchmark: Benchmark, policy: PolicyKind, threads: usize) -> f64 {
 fn every_benchmark_completes_under_every_figure3_policy() {
     for benchmark in Benchmark::STAMP {
         for policy in PolicyKind::FIGURE3 {
-            let m = run_once(
-                Cell {
+            let m = RunRequest::cell(Cell {
                     benchmark,
                     policy,
                     threads: 8,
-                },
-                0,
-                0.15,
-            );
+                }).scale(0.15).run();
             assert!(!m.truncated, "{} under {} truncated", benchmark.name(), policy.label());
             assert!(m.commits > 0);
             assert_eq!(m.modes.total(), m.commits);
@@ -65,15 +58,11 @@ fn seer_beats_rtm_on_geomean_at_eight_threads() {
 fn hle_collapses_at_high_thread_counts() {
     // The lemming effect: HLE ends up executing almost everything under
     // the elided lock at 8 threads on contended benchmarks.
-    let m = run_once(
-        Cell {
+    let m = RunRequest::cell(Cell {
             benchmark: Benchmark::VacationHigh,
             policy: PolicyKind::Hle,
             threads: 8,
-        },
-        0,
-        SCALE,
-    );
+        }).scale(SCALE).run();
     assert!(
         m.fallback_fraction() > 0.5,
         "HLE should lemming: {:.3}",
@@ -89,27 +78,19 @@ fn seer_slashes_fallback_activation_versus_rtm() {
     let mut seer_fb = Vec::new();
     for benchmark in Benchmark::STAMP {
         rtm_fb.push(
-            run_once(
-                Cell {
+            RunRequest::cell(Cell {
                     benchmark,
                     policy: PolicyKind::Rtm,
                     threads: 8,
-                },
-                0,
-                SCALE,
-            )
+                }).scale(SCALE).run()
             .fallback_fraction(),
         );
         seer_fb.push(
-            run_once(
-                Cell {
+            RunRequest::cell(Cell {
                     benchmark,
                     policy: PolicyKind::Seer,
                     threads: 8,
-                },
-                0,
-                SCALE,
-            )
+                }).scale(SCALE).run()
             .fallback_fraction(),
         );
     }
@@ -124,25 +105,17 @@ fn seer_slashes_fallback_activation_versus_rtm() {
 
 #[test]
 fn scm_commits_under_aux_lock_but_seer_never_does() {
-    let scm = run_once(
-        Cell {
+    let scm = RunRequest::cell(Cell {
             benchmark: Benchmark::Genome,
             policy: PolicyKind::Scm,
             threads: 8,
-        },
-        0,
-        SCALE,
-    );
+        }).scale(SCALE).run();
     assert!(scm.modes.get(TxMode::HtmAuxLock) > 0);
-    let seer = run_once(
-        Cell {
+    let seer = RunRequest::cell(Cell {
             benchmark: Benchmark::Genome,
             policy: PolicyKind::Seer,
             threads: 8,
-        },
-        0,
-        SCALE,
-    );
+        }).scale(SCALE).run();
     assert_eq!(seer.modes.get(TxMode::HtmAuxLock), 0);
     assert!(
         seer.modes.get(TxMode::HtmTxLocks) + seer.modes.get(TxMode::HtmTxAndCoreLocks) > 0,
@@ -154,24 +127,16 @@ fn scm_commits_under_aux_lock_but_seer_never_does() {
 fn core_locks_engage_only_with_smt_sharing() {
     // At 4 threads each thread owns a physical core: no capacity squeeze,
     // so Seer should (almost) never take a core lock; at 8 threads it must.
-    let at4 = run_once(
-        Cell {
+    let at4 = RunRequest::cell(Cell {
             benchmark: Benchmark::Yada,
             policy: PolicyKind::Seer,
             threads: 4,
-        },
-        0,
-        SCALE,
-    );
-    let at8 = run_once(
-        Cell {
+        }).scale(SCALE).run();
+    let at8 = RunRequest::cell(Cell {
             benchmark: Benchmark::Yada,
             policy: PolicyKind::Seer,
             threads: 8,
-        },
-        0,
-        SCALE,
-    );
+        }).scale(SCALE).run();
     let core4 = at4.modes.get(TxMode::HtmCoreLock) + at4.modes.get(TxMode::HtmTxAndCoreLocks);
     let core8 = at8.modes.get(TxMode::HtmCoreLock) + at8.modes.get(TxMode::HtmTxAndCoreLocks);
     assert!(core8 > core4, "core locks at 8t ({core8}) should exceed 4t ({core4})");
@@ -200,15 +165,11 @@ fn seer_inference_finds_the_hot_pair_end_to_end() {
 
 #[test]
 fn profile_only_seer_never_acquires_its_locks() {
-    let m = run_once(
-        Cell {
+    let m = RunRequest::cell(Cell {
             benchmark: Benchmark::Intruder,
             policy: PolicyKind::SeerProfileOnly,
             threads: 8,
-        },
-        0,
-        SCALE,
-    );
+        }).scale(SCALE).run();
     assert_eq!(m.modes.get(TxMode::HtmTxLocks), 0);
     assert_eq!(m.modes.get(TxMode::HtmCoreLock), 0);
     assert_eq!(m.modes.get(TxMode::HtmTxAndCoreLocks), 0);
@@ -260,15 +221,11 @@ fn deterministic_across_identical_full_stack_runs() {
 fn hle_uses_hardware_at_low_threads() {
     // Paper Table 3: HLE commits 75% in hardware at 2 threads; the
     // collapse is a high-concurrency phenomenon.
-    let m = run_once(
-        Cell {
+    let m = RunRequest::cell(Cell {
             benchmark: Benchmark::KmeansLow,
             policy: PolicyKind::Hle,
             threads: 2,
-        },
-        0,
-        SCALE,
-    );
+        }).scale(SCALE).run();
     assert!(
         m.modes.fraction(TxMode::HtmNoLocks) > 0.6,
         "2-thread HLE should mostly elide: {:.3}",
@@ -278,15 +235,11 @@ fn hle_uses_hardware_at_low_threads() {
 
 #[test]
 fn ats_is_available_as_extra_series() {
-    let m = run_once(
-        Cell {
+    let m = RunRequest::cell(Cell {
             benchmark: Benchmark::Ssca2,
             policy: PolicyKind::Ats,
             threads: 4,
-        },
-        0,
-        0.15,
-    );
+        }).scale(0.15).run();
     assert!(m.commits > 0);
     assert!(m.speedup() > 1.0);
 }
@@ -311,39 +264,29 @@ fn hle_reference_from_baselines_crate_matches_policy_kind() {
     let mut hle = Hle::default();
     let cfg = DriverConfig::paper_machine(4, 0x5EE2);
     let direct = run(&mut w, &mut hle, &cfg);
-    let via_kind = run_once(
-        Cell {
-            benchmark: Benchmark::Ssca2,
-            policy: PolicyKind::Hle,
-            threads: 4,
-        },
-        0,
-        100.0 / Benchmark::Ssca2.default_txs() as f64,
-    );
+    let via_kind = RunRequest::cell(Cell {
+        benchmark: Benchmark::Ssca2,
+        policy: PolicyKind::Hle,
+        threads: 4,
+    })
+    .scale(100.0 / Benchmark::Ssca2.default_txs() as f64)
+    .run();
     assert_eq!(direct.commits, via_kind.commits);
     assert_eq!(direct.makespan, via_kind.makespan);
 }
 
 #[test]
 fn rtm_wait_gate_reduces_explicit_aborts_versus_hle() {
-    let hle = run_once(
-        Cell {
+    let hle = RunRequest::cell(Cell {
             benchmark: Benchmark::Genome,
             policy: PolicyKind::Hle,
             threads: 8,
-        },
-        0,
-        SCALE,
-    );
-    let rtm = run_once(
-        Cell {
+        }).scale(SCALE).run();
+    let rtm = RunRequest::cell(Cell {
             benchmark: Benchmark::Genome,
             policy: PolicyKind::Rtm,
             threads: 8,
-        },
-        0,
-        SCALE,
-    );
+        }).scale(SCALE).run();
     // HLE begins blindly while the SGL is held (explicit subscription
     // aborts); RTM's wait-while-locked gate avoids most of those.
     let hle_rate = hle.aborts.explicit as f64 / hle.commits as f64;

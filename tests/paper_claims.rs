@@ -3,22 +3,19 @@
 //! the assertion checks the *direction* with a conservative bound rather
 //! than the paper's absolute factor.
 
-use seer_harness::{geometric_mean, run_once, Cell, PolicyKind};
+use seer_harness::{geometric_mean, Cell, PolicyKind};
+use seer_scenario::RunRequest;
 use seer_runtime::TxMode;
 use seer_stamp::Benchmark;
 
 const SCALE: f64 = 0.25;
 
 fn cell(b: Benchmark, p: PolicyKind, t: usize, seed: u64) -> seer_runtime::RunMetrics {
-    run_once(
-        Cell {
+    RunRequest::cell(Cell {
             benchmark: b,
             policy: p,
             threads: t,
-        },
-        seed,
-        SCALE,
-    )
+        }).seed(seed).scale(SCALE).run()
 }
 
 /// §1: "Seer improves the performance of the Intel TSX HTM … in TM
