@@ -1,0 +1,196 @@
+//! Distributed conformance: remote execution must be *invisible* in the
+//! results, exactly like the disk store (DESIGN.md §14).
+//!
+//! The bar is the same one every other execution path clears — the
+//! committed replay fixtures. A sweep fanned over two real worker
+//! endpoints (in-process serve loops speaking the real TCP protocol)
+//! must re-derive all 88 fixture lines byte-for-byte, land every result
+//! in the shard store, and make a second pass against that store pure
+//! disk — zero remote dispatches, zero simulations.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use seer_conformance::replay::fixture_line;
+use seer_harness::{Cell, CellExecutor, HarnessConfig, Plan, PolicyKind, Store};
+use seer_remote::{PoolConfig, WorkerPool};
+use seer_stamp::Benchmark;
+
+const SCALE: f64 = 0.08;
+const THREADS: usize = 4;
+const FIXTURES: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/trace_hashes.txt"
+);
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_root(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "seer-conformance-remote-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed),
+    ))
+}
+
+/// Starts an in-process worker (the real serve loop on a real TCP
+/// socket) and returns its address. The serve thread lives until the
+/// test process exits.
+fn spawn_worker() -> String {
+    let listener = seer_remote::bind("127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = listener.local_addr().expect("resolved address").to_string();
+    std::thread::spawn(move || {
+        let _ = seer_remote::serve(listener);
+    });
+    addr
+}
+
+/// The full 88-cell fixture matrix (STAMP × every policy), fixture order.
+fn fixture_cells() -> Vec<Cell> {
+    Benchmark::STAMP
+        .into_iter()
+        .flat_map(|benchmark| {
+            PolicyKind::ALL.into_iter().map(move |policy| Cell {
+                benchmark,
+                policy,
+                threads: THREADS,
+            })
+        })
+        .collect()
+}
+
+fn plan_of(cells: &[Cell]) -> Plan {
+    let mut plan = Plan::new();
+    for &cell in cells {
+        plan.add_one(cell, 0, SCALE);
+    }
+    plan
+}
+
+#[test]
+fn two_worker_sweep_reproduces_the_replay_fixtures() {
+    let root = temp_root("fixtures");
+    let cells = fixture_cells();
+    let plan = plan_of(&cells);
+
+    let addrs = [spawn_worker(), spawn_worker()];
+    let pool = Arc::new(WorkerPool::connect(
+        &addrs,
+        PoolConfig {
+            window: 4,
+            ..PoolConfig::default()
+        },
+    ));
+    assert_eq!(pool.alive_workers(), 2, "both workers must handshake");
+
+    // Distributed pass: every cell resolved by a worker, none locally.
+    let cfg = HarnessConfig {
+        seeds: 1,
+        scale: SCALE,
+        jobs: pool.capacity(),
+    };
+    let exec = CellExecutor::with_store(cfg, Store::open(&root)).with_remote(pool.clone());
+    let report = exec.execute(&plan);
+    assert!(report.complete(), "distributed pass failed: {report:?}");
+    assert_eq!(report.remote_hits, cells.len() as u64, "{report:?}");
+    assert_eq!(report.computed, 0, "a live worker pool must get all the work");
+    let stats = pool.stats();
+    assert_eq!(stats.workers_lost, 0, "{stats:?}");
+    assert_eq!(stats.completed, cells.len() as u64, "{stats:?}");
+
+    // The headline: byte-for-byte the committed replay fixtures — the
+    // exact bar the serial local matrix clears, with no re-bless.
+    let lines: Vec<String> = cells
+        .iter()
+        .map(|&cell| {
+            let metrics = exec.cached(cell, 0, SCALE).expect("covered cell");
+            fixture_line(cell, 0, metrics.trace_hash)
+        })
+        .collect();
+    let computed = lines.join("\n") + "\n";
+    let golden = std::fs::read_to_string(FIXTURES).expect("committed fixtures");
+    assert_eq!(
+        computed, golden,
+        "worker-computed results drifted from the committed replay fixtures"
+    );
+
+    // Remote results landed in the same shard store a local run fills:
+    // a second pass (fresh executor, cold memo, same pool attached) is
+    // pure disk — zero remote dispatches, zero simulations.
+    let dispatched_before = pool.stats().dispatched;
+    let warm = CellExecutor::with_store(cfg, Store::open(&root)).with_remote(pool.clone());
+    let report = warm.execute(&plan);
+    assert!(report.complete(), "warm pass failed: {report:?}");
+    assert_eq!(report.disk_hits, cells.len() as u64, "{report:?}");
+    assert_eq!(report.remote_hits, 0, "{report:?}");
+    assert_eq!(report.computed, 0, "{report:?}");
+    assert_eq!(
+        pool.stats().dispatched,
+        dispatched_before,
+        "a warm store must not dispatch a single remote item"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A coordinator whose kernel fingerprint the workers reject (here:
+/// simulated by a pool pointed at a plain TCP listener that never
+/// handshakes) must degrade to local compute, not wrong results.
+#[test]
+fn a_silent_endpoint_fails_the_handshake_and_the_sweep_runs_locally() {
+    // A listener that accepts and says nothing: the coordinator's
+    // handshake read times out and the "worker" is declared dead.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr").to_string();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            // Hold the connection open, silently.
+            std::mem::forget(conn);
+        }
+    });
+
+    let pool = Arc::new(WorkerPool::connect(
+        &[addr],
+        PoolConfig {
+            heartbeat_timeout: std::time::Duration::from_millis(300),
+            connect_timeout: std::time::Duration::from_millis(300),
+            ..PoolConfig::default()
+        },
+    ));
+    assert_eq!(pool.alive_workers(), 0, "a silent endpoint is not a worker");
+
+    let cells = [
+        Cell {
+            benchmark: Benchmark::Ssca2,
+            policy: PolicyKind::Rtm,
+            threads: THREADS,
+        },
+        Cell {
+            benchmark: Benchmark::Ssca2,
+            policy: PolicyKind::Seer,
+            threads: THREADS,
+        },
+    ];
+    let plan = plan_of(&cells);
+    let cfg = HarnessConfig {
+        seeds: 1,
+        scale: SCALE,
+        jobs: 2,
+    };
+    let exec = CellExecutor::new(cfg).with_remote(pool.clone());
+    let report = exec.execute(&plan);
+    assert!(report.complete(), "local fallback failed: {report:?}");
+    assert_eq!(report.computed, cells.len() as u64);
+    assert_eq!(report.remote_hits, 0);
+
+    // And the locally computed results still match the fixtures.
+    let golden = std::fs::read_to_string(FIXTURES).expect("committed fixtures");
+    for &cell in &cells {
+        let metrics = exec.cached(cell, 0, SCALE).expect("covered cell");
+        let line = fixture_line(cell, 0, metrics.trace_hash);
+        assert!(
+            golden.contains(&line),
+            "locally recomputed line not in fixtures: {line}"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Standalone worker binary for the chaos suite (and anyone who wants a
+//! worker without the full CLI). Equivalent to `seer serve --addr`.
+//!
+//! Prints `serve: listening on {addr}` (with the *resolved* port, so
+//! `--addr 127.0.0.1:0` is usable) to stdout and flushes before
+//! serving; test harnesses parse that line to learn the port.
+
+use std::io::Write;
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => {
+                    eprintln!("remote_worker: --addr needs a value");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("remote_worker: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let listener = match seer_remote::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("remote_worker: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let local = listener.local_addr().expect("listener has a local addr");
+    println!("serve: listening on {local}");
+    std::io::stdout().flush().ok();
+    if let Err(e) = seer_remote::serve(listener) {
+        eprintln!("remote_worker: serve failed: {e}");
+        std::process::exit(1);
+    }
+}

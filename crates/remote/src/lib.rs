@@ -1,0 +1,36 @@
+//! # seer-remote — distributed sweep execution
+//!
+//! Fans the workspace's embarrassingly parallel work — harness cells and
+//! scenario runs — across worker processes, without giving up one byte
+//! of the determinism contract. Three pieces (DESIGN.md §14):
+//!
+//! * [`proto`] — a length-prefixed JSON wire protocol built on the
+//!   store's dependency-free JSON tree. Total decoding: any corrupt
+//!   byte stream is a typed error, never a panic.
+//! * [`serve`] — the `seer serve` worker daemon: stateless, one thread
+//!   per connection, kernel-fingerprint handshake, heartbeats while
+//!   computing, `catch_unwind` isolation per work item.
+//! * [`pool`] — the coordinator's [`WorkerPool`], which plugs into
+//!   `seer_store::Executor` as the remote resolution stage (memo → disk
+//!   → remote → local) with per-worker in-flight windows, heartbeat
+//!   deadlines, retry-on-another-worker, and warn-once degradation to
+//!   local compute when every worker is gone.
+//!
+//! The headline property — pinned by `crates/conformance/tests/remote.rs`
+//! and the chaos suite — is that a sweep fanned over N workers (even N
+//! workers being killed mid-flight) re-derives exactly the bytes a
+//! serial local run produces, and lands them in the same shard store.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod pool;
+pub mod proto;
+pub mod serve;
+
+pub use pool::{PoolConfig, PoolStats, WorkerPool};
+pub use proto::{
+    encode_frame, read_frame, value_checksum, write_frame, Message, ProtoError, WorkItem,
+    HEARTBEAT_INTERVAL, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+pub use serve::{bind, compute, serve};

@@ -1,0 +1,522 @@
+//! The coordinator's worker pool — the `Executor`'s remote stage.
+//!
+//! [`WorkerPool`] implements [`RemoteResolver`] for both key kinds the
+//! workspace executes (`CellKey` → `RunMetrics`, `ScenarioKey` →
+//! `ScenarioOutcome`), so attaching one to an `Executor` slots remote
+//! dispatch between the disk store and local compute: memo → disk →
+//! **remote** → local. Everything a worker returns is persisted to the
+//! same shard store as a local result would be, so a distributed sweep
+//! warms exactly the cache a serial one does.
+//!
+//! Fault model (the chaos suite exercises all of it):
+//!
+//! * **Per-worker window.** Each worker gets up to `window` concurrent
+//!   connections, each carrying one in-flight item; calls beyond the
+//!   budget wait on a condvar until a slot frees or a worker dies.
+//! * **Heartbeat deadline.** Sockets carry a read timeout of
+//!   `heartbeat_timeout` (default 50× the worker's 100 ms heartbeat
+//!   interval); a worker that goes silent past it — stalled, SIGKILLed,
+//!   partitioned — is declared dead, its in-flight item is retried on
+//!   another worker, and nothing is lost.
+//! * **Checksum verification.** `done` values are re-hashed (FNV-1a over
+//!   the compact encoding, the store's own convention) and a mismatch is
+//!   treated as a dead worker, not a usable result.
+//! * **Graceful degradation.** When every worker is dead or unreachable
+//!   the pool returns [`RemoteOutcome::Unavailable`] and warns exactly
+//!   once; the executor then falls through to supervised local compute,
+//!   so a sweep *completes correctly with zero workers* — just slower.
+//!
+//! Determinism: the pool changes only *where* a value is computed, never
+//! *what* it is. Workers refuse mismatched kernel fingerprints at
+//! handshake, values are pure functions of their keys, and the
+//! conformance suite replays the committed trace-hash fixtures through a
+//! two-worker pool byte-for-byte.
+
+use std::collections::VecDeque;
+use std::io::BufReader;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, Once};
+use std::time::Duration;
+
+use seer_harness::CellKey;
+use seer_runtime::RunMetrics;
+use seer_scenario::{ScenarioKey, ScenarioOutcome};
+use seer_store::{kernel_fingerprint, Json, Persist, RemoteOutcome, RemoteResolver};
+
+use crate::proto::{
+    read_frame, value_checksum, write_frame, Message, ProtoError, WorkItem, PROTOCOL_VERSION,
+};
+
+/// Tuning for the coordinator side of the wire.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Max concurrent in-flight items (connections) per worker.
+    pub window: usize,
+    /// Max silence on a connection before the worker is declared dead.
+    /// Workers heartbeat every ~100 ms while computing, so this is a
+    /// generous multiple of the expected gap.
+    pub heartbeat_timeout: Duration,
+    /// Max time to wait for a TCP connect + handshake to a worker.
+    pub connect_timeout: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        Self {
+            window: 2,
+            heartbeat_timeout: Duration::from_millis(5000),
+            connect_timeout: Duration::from_millis(2000),
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Reads overrides from `SEER_REMOTE_WINDOW` and
+    /// `SEER_REMOTE_TIMEOUT_MS`, warning once per unparsable value
+    /// (same discipline as `SupervisorConfig::from_env`).
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(raw) = std::env::var("SEER_REMOTE_WINDOW") {
+            match raw.parse::<usize>() {
+                Ok(n) if n > 0 => cfg.window = n,
+                _ => warn_once_env("SEER_REMOTE_WINDOW", &raw),
+            }
+        }
+        if let Ok(raw) = std::env::var("SEER_REMOTE_TIMEOUT_MS") {
+            match raw.parse::<u64>() {
+                Ok(ms) if ms > 0 => cfg.heartbeat_timeout = Duration::from_millis(ms),
+                _ => warn_once_env("SEER_REMOTE_TIMEOUT_MS", &raw),
+            }
+        }
+        cfg
+    }
+}
+
+fn warn_once_env(var: &str, raw: &str) {
+    static WARN: Once = Once::new();
+    WARN.call_once(|| {
+        eprintln!("seer: warning: ignoring unparsable {var}={raw:?}");
+    });
+}
+
+/// Counters describing what the pool has done so far. All monotonic;
+/// snapshot via [`WorkerPool::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Work items sent to a worker (retries count again).
+    pub dispatched: u64,
+    /// Items that came back `done` with a verified checksum.
+    pub completed: u64,
+    /// Items that came back `failed` (the computation itself failed).
+    pub failed: u64,
+    /// Items re-sent to another worker after their worker died.
+    pub retried: u64,
+    /// Workers declared dead (unreachable, timed out, or corrupting).
+    pub workers_lost: u64,
+}
+
+/// One configured worker endpoint with its connection slots.
+struct Worker {
+    addr: String,
+    /// Idle, handshaken connections ready for a work item.
+    idle: Mutex<VecDeque<Conn>>,
+    /// Connections created (idle + in flight); bounded by `window`.
+    created: AtomicUsize,
+    alive: AtomicBool,
+}
+
+/// One handshaken connection. Reads are buffered; frames are written to
+/// the raw stream (they are single `write_all`s).
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+enum Attempt {
+    /// Verified value.
+    Done(Json),
+    /// The worker computed and said no; do not retry elsewhere — the
+    /// computation is deterministic, so another worker would fail too.
+    Failed(String),
+    /// The *worker* failed (died, timed out, corrupted); retry elsewhere.
+    WorkerLost(String),
+}
+
+/// A fixed set of workers behind the [`RemoteResolver`] interface.
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+    cfg: PoolConfig,
+    rr: AtomicUsize,
+    /// Lock + condvar used only for waiting when all live workers are
+    /// saturated; slot bookkeeping itself is in the per-worker atomics.
+    slot_lock: Mutex<()>,
+    slot_free: Condvar,
+    dispatched: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    retried: AtomicU64,
+    workers_lost: AtomicU64,
+    degraded: Once,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("addrs", &self.addrs())
+            .field("alive", &self.alive_workers())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Builds a pool over `addrs` and eagerly probes each worker with a
+    /// connect + handshake, so startup problems (down, wrong build)
+    /// surface as warnings immediately rather than mid-sweep. A pool
+    /// where every probe failed is still usable — it degrades to
+    /// `Unavailable` on first dispatch.
+    pub fn connect(addrs: &[String], cfg: PoolConfig) -> WorkerPool {
+        let pool = WorkerPool {
+            workers: addrs
+                .iter()
+                .map(|addr| Worker {
+                    addr: addr.clone(),
+                    idle: Mutex::new(VecDeque::new()),
+                    created: AtomicUsize::new(0),
+                    alive: AtomicBool::new(true),
+                })
+                .collect(),
+            cfg,
+            rr: AtomicUsize::new(0),
+            slot_lock: Mutex::new(()),
+            slot_free: Condvar::new(),
+            dispatched: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            workers_lost: AtomicU64::new(0),
+            degraded: Once::new(),
+        };
+        for w in &pool.workers {
+            match pool.open_conn(w) {
+                Ok(conn) => {
+                    w.idle.lock().unwrap().push_back(conn);
+                }
+                Err(why) => pool.mark_dead(w, &why),
+            }
+        }
+        pool
+    }
+
+    /// Worker addresses, in configuration order.
+    pub fn addrs(&self) -> Vec<String> {
+        self.workers.iter().map(|w| w.addr.clone()).collect()
+    }
+
+    /// Workers still considered alive.
+    pub fn alive_workers(&self) -> usize {
+        self.workers
+            .iter()
+            .filter(|w| w.alive.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// Total in-flight capacity across live workers — what a caller
+    /// should size its fan-out to.
+    pub fn capacity(&self) -> usize {
+        self.alive_workers() * self.cfg.window
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            dispatched: self.dispatched.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            workers_lost: self.workers_lost.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sends one item to some live worker and waits for its result,
+    /// retrying on other workers if the first dies mid-flight. Returns
+    /// the raw `Persist` JSON; the typed [`RemoteResolver`] impls decode
+    /// it.
+    pub fn dispatch(&self, item: &WorkItem) -> RemoteOutcome<Json> {
+        let mut attempts = 0u64;
+        loop {
+            let n = self.workers.len();
+            if n == 0 {
+                return self.degrade();
+            }
+            let start = self.rr.fetch_add(1, Ordering::Relaxed);
+            let mut any_alive = false;
+            for i in 0..n {
+                let w = &self.workers[(start + i) % n];
+                if !w.alive.load(Ordering::Acquire) {
+                    continue;
+                }
+                any_alive = true;
+                let Some(conn) = self.acquire(w) else {
+                    continue; // saturated or just died; try the next one
+                };
+                self.dispatched.fetch_add(1, Ordering::Relaxed);
+                if attempts > 0 {
+                    self.retried.fetch_add(1, Ordering::Relaxed);
+                }
+                attempts += 1;
+                match self.request(w, conn, item) {
+                    Attempt::Done(value) => {
+                        self.completed.fetch_add(1, Ordering::Relaxed);
+                        return RemoteOutcome::Computed(value);
+                    }
+                    Attempt::Failed(error) => {
+                        self.failed.fetch_add(1, Ordering::Relaxed);
+                        return RemoteOutcome::Failed(error);
+                    }
+                    Attempt::WorkerLost(why) => {
+                        self.mark_dead(w, &why);
+                        // fall through: try the remaining workers, or
+                        // re-enter the outer loop to re-scan.
+                    }
+                }
+            }
+            if !any_alive {
+                return self.degrade();
+            }
+            // Every live worker is saturated: wait for a slot (or a
+            // death) and re-scan. The timeout guards against a lost
+            // notify racing a death.
+            let guard = self.slot_lock.lock().unwrap();
+            let _unused = self
+                .slot_free
+                .wait_timeout(guard, Duration::from_millis(50))
+                .unwrap();
+        }
+    }
+
+    /// Pops an idle connection or opens a new one within the window.
+    fn acquire(&self, w: &Worker) -> Option<Conn> {
+        if let Some(conn) = w.idle.lock().unwrap().pop_front() {
+            return Some(conn);
+        }
+        // Reserve a slot before connecting so concurrent callers cannot
+        // overshoot the window.
+        let prev = w.created.fetch_add(1, Ordering::AcqRel);
+        if prev >= self.cfg.window {
+            w.created.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        match self.open_conn(w) {
+            Ok(conn) => Some(conn),
+            Err(why) => {
+                w.created.fetch_sub(1, Ordering::AcqRel);
+                self.mark_dead(w, &why);
+                None
+            }
+        }
+    }
+
+    /// Returns a healthy connection to the idle set and wakes a waiter.
+    fn release(&self, w: &Worker, conn: Conn) {
+        w.idle.lock().unwrap().push_back(conn);
+        self.slot_free.notify_all();
+    }
+
+    /// Drops a connection (its slot frees) and wakes a waiter.
+    fn discard(&self, w: &Worker, conn: Conn) {
+        drop(conn);
+        w.created.fetch_sub(1, Ordering::AcqRel);
+        self.slot_free.notify_all();
+    }
+
+    /// TCP connect + hello handshake, with timeouts throughout.
+    fn open_conn(&self, w: &Worker) -> Result<Conn, String> {
+        let addr = w
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| format!("bad address: {e}"))?
+            .next()
+            .ok_or("address resolved to nothing")?;
+        let stream = TcpStream::connect_timeout(&addr, self.cfg.connect_timeout)
+            .map_err(|e| format!("connect failed: {e}"))?;
+        stream
+            .set_read_timeout(Some(self.cfg.heartbeat_timeout))
+            .map_err(|e| format!("set_read_timeout failed: {e}"))?;
+        stream.set_nodelay(true).ok();
+        let mut writer = stream
+            .try_clone()
+            .map_err(|e| format!("clone failed: {e}"))?;
+        let mut reader = BufReader::new(stream);
+        write_frame(
+            &mut writer,
+            &Message::Hello {
+                protocol: PROTOCOL_VERSION,
+                fingerprint: kernel_fingerprint(),
+            },
+        )
+        .map_err(|e| format!("handshake write failed: {e}"))?;
+        match read_frame(&mut reader) {
+            Ok(Message::Hello { protocol, .. }) if protocol == PROTOCOL_VERSION => Ok(Conn {
+                reader,
+                writer,
+                next_id: 0,
+            }),
+            Ok(Message::Error { message }) => Err(format!("worker rejected handshake: {message}")),
+            Ok(other) => Err(format!("unexpected handshake reply: {other:?}")),
+            Err(e) => Err(format!("handshake read failed: {e}")),
+        }
+    }
+
+    /// One request/response exchange on one connection.
+    fn request(&self, w: &Worker, mut conn: Conn, item: &WorkItem) -> Attempt {
+        let id = conn.next_id;
+        conn.next_id += 1;
+        if let Err(e) = write_frame(
+            &mut conn.writer,
+            &Message::Work {
+                id,
+                item: item.clone(),
+            },
+        ) {
+            self.discard(w, conn);
+            return Attempt::WorkerLost(format!("work write failed: {e}"));
+        }
+        loop {
+            match read_frame(&mut conn.reader) {
+                Ok(Message::Heartbeat { id: hb }) if hb == id => continue,
+                Ok(Message::Done {
+                    id: did,
+                    checksum,
+                    value,
+                }) if did == id => {
+                    if value_checksum(&value) != checksum {
+                        self.discard(w, conn);
+                        return Attempt::WorkerLost("done frame failed checksum".into());
+                    }
+                    self.release(w, conn);
+                    return Attempt::Done(value);
+                }
+                Ok(Message::Failed { id: fid, error }) if fid == id => {
+                    self.release(w, conn);
+                    return Attempt::Failed(error);
+                }
+                Ok(Message::Error { message }) => {
+                    self.discard(w, conn);
+                    return Attempt::WorkerLost(format!("worker protocol error: {message}"));
+                }
+                Ok(other) => {
+                    self.discard(w, conn);
+                    return Attempt::WorkerLost(format!("unexpected frame: {other:?}"));
+                }
+                Err(ProtoError::Io(e))
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    self.discard(w, conn);
+                    return Attempt::WorkerLost(format!(
+                        "no heartbeat within {:?}",
+                        self.cfg.heartbeat_timeout
+                    ));
+                }
+                Err(e) => {
+                    self.discard(w, conn);
+                    return Attempt::WorkerLost(format!("read failed: {e}"));
+                }
+            }
+        }
+    }
+
+    /// Marks a worker dead (idempotent), dropping its idle connections.
+    fn mark_dead(&self, w: &Worker, why: &str) {
+        if w.alive.swap(false, Ordering::AcqRel) {
+            self.workers_lost.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "seer: warning: lost worker {}: {why}; re-dispatching its work",
+                w.addr
+            );
+        }
+        w.idle.lock().unwrap().clear();
+        self.slot_free.notify_all();
+    }
+
+    /// All workers dead: warn once and hand the item back to the
+    /// executor's local stage.
+    fn degrade(&self) -> RemoteOutcome<Json> {
+        self.degraded.call_once(|| {
+            eprintln!(
+                "seer: warning: no reachable workers ({}); continuing with local compute",
+                self.addrs().join(", ")
+            );
+        });
+        RemoteOutcome::Unavailable
+    }
+
+    fn resolve_decoded<V: Persist>(&self, item: &WorkItem) -> RemoteOutcome<V> {
+        match self.dispatch(item) {
+            RemoteOutcome::Computed(json) => match V::from_store_json(&json) {
+                Ok(value) => RemoteOutcome::Computed(value),
+                Err(e) => {
+                    // A checksummed frame that fails to decode means the
+                    // worker runs a different (yet fingerprint-equal)
+                    // codec — treat like unavailability, compute locally.
+                    eprintln!("seer: warning: undecodable remote value ({e}); computing locally");
+                    RemoteOutcome::Unavailable
+                }
+            },
+            RemoteOutcome::Unavailable => RemoteOutcome::Unavailable,
+            RemoteOutcome::Failed(e) => RemoteOutcome::Failed(e),
+        }
+    }
+}
+
+impl RemoteResolver<CellKey, RunMetrics> for WorkerPool {
+    fn resolve_remote(&self, key: &CellKey) -> RemoteOutcome<RunMetrics> {
+        self.resolve_decoded(&WorkItem::Cell {
+            benchmark: key.benchmark.name().to_string(),
+            policy: key.policy.name().to_string(),
+            threads: key.threads,
+            seed: key.seed,
+            scale_bits: key.scale().to_bits(),
+        })
+    }
+}
+
+impl RemoteResolver<ScenarioKey, ScenarioOutcome> for WorkerPool {
+    fn resolve_remote(&self, key: &ScenarioKey) -> RemoteOutcome<ScenarioOutcome> {
+        self.resolve_decoded(&WorkItem::Scenario {
+            scenario: key.scenario.clone(),
+            policy: key.policy.name().to_string(),
+            seed: key.seed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_pool_with_no_reachable_workers_degrades_instead_of_erroring() {
+        // Port 1 is essentially never listening; connect fails fast.
+        let pool = WorkerPool::connect(
+            &["127.0.0.1:1".to_string()],
+            PoolConfig {
+                connect_timeout: Duration::from_millis(200),
+                ..PoolConfig::default()
+            },
+        );
+        assert_eq!(pool.alive_workers(), 0);
+        assert_eq!(pool.capacity(), 0);
+        let out = pool.dispatch(&WorkItem::Scenario {
+            scenario: "x".into(),
+            policy: "seer".into(),
+            seed: 0,
+        });
+        assert!(matches!(out, RemoteOutcome::Unavailable));
+        assert_eq!(pool.stats().workers_lost, 1);
+        assert_eq!(pool.stats().dispatched, 0);
+    }
+}

@@ -1,0 +1,278 @@
+//! The `seer serve` worker daemon.
+//!
+//! A worker is deliberately dumb: it holds no queue, no store, and no
+//! state beyond the connection it is answering. The coordinator owns
+//! scheduling, retry, and persistence; the worker's entire contract is
+//! *"given coordinates, compute the value those coordinates determine"*.
+//! That is what makes the distributed sweep trivially deterministic —
+//! a worker cannot influence results, only produce or fail to produce
+//! them, and every produced value is checksummed and re-verified by the
+//! coordinator before it is trusted.
+//!
+//! Per connection (one OS thread each):
+//!
+//! 1. expect `hello`, reject on protocol-version or kernel-fingerprint
+//!    mismatch (a worker built from a different kernel would compute
+//!    different bytes), echo `hello` on match;
+//! 2. loop: read `work`, compute it on a helper thread under
+//!    `catch_unwind`, stream `heartbeat` frames every
+//!    [`HEARTBEAT_INTERVAL`](crate::proto::HEARTBEAT_INTERVAL) while the
+//!    computation runs, then send `done {checksum, value}` or
+//!    `failed {error}`.
+//!
+//! Panics inside a cell (e.g. the driver's event safety valve) become
+//! `failed` frames, mirroring the local supervisor's `catch_unwind`
+//! isolation: a poisoned work item degrades into an explicit failure,
+//! never a dead worker.
+
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::thread;
+
+use seer_harness::{execute_cell, Cell, PolicyKind};
+use seer_scenario::{library, RunRequest};
+use seer_stamp::Benchmark;
+use seer_store::{kernel_fingerprint, Json, Persist};
+
+use crate::proto::{
+    read_frame, write_frame, Message, ProtoError, WorkItem, HEARTBEAT_INTERVAL, PROTOCOL_VERSION,
+};
+
+/// Binds `addr` (use port 0 for an ephemeral port) and returns the
+/// listener without serving yet, so callers can report the resolved
+/// address before blocking.
+pub fn bind(addr: &str) -> std::io::Result<TcpListener> {
+    TcpListener::bind(addr)
+}
+
+/// Serves connections on `listener` forever (or until accept fails
+/// hard). Each connection gets its own thread; a connection-level
+/// protocol error kills that connection only.
+pub fn serve(listener: TcpListener) -> std::io::Result<()> {
+    for conn in listener.incoming() {
+        match conn {
+            Ok(stream) => {
+                thread::spawn(move || {
+                    // Connection teardown (peer gone, protocol abuse) is
+                    // the peer's problem; the daemon just moves on.
+                    let _ = handle_connection(stream);
+                });
+            }
+            Err(e) => eprintln!("serve: warning: accept failed: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn handle_connection(mut stream: TcpStream) -> Result<(), ProtoError> {
+    let fingerprint = kernel_fingerprint();
+    match read_frame(&mut stream)? {
+        Message::Hello {
+            protocol,
+            fingerprint: theirs,
+        } => {
+            if protocol != PROTOCOL_VERSION {
+                let message = format!(
+                    "protocol mismatch: coordinator speaks v{protocol}, worker speaks v{PROTOCOL_VERSION}"
+                );
+                write_frame(&mut stream, &Message::Error { message }).map_err(ProtoError::Io)?;
+                return Ok(());
+            }
+            if theirs != fingerprint {
+                let message = format!(
+                    "kernel fingerprint mismatch: coordinator {theirs}, worker {fingerprint}"
+                );
+                write_frame(&mut stream, &Message::Error { message }).map_err(ProtoError::Io)?;
+                return Ok(());
+            }
+            write_frame(
+                &mut stream,
+                &Message::Hello {
+                    protocol: PROTOCOL_VERSION,
+                    fingerprint,
+                },
+            )
+            .map_err(ProtoError::Io)?;
+        }
+        other => {
+            let message = format!("expected hello, got {other:?}");
+            write_frame(&mut stream, &Message::Error { message }).map_err(ProtoError::Io)?;
+            return Ok(());
+        }
+    }
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Message::Work { id, item }) => run_work(&mut stream, id, item)?,
+            Ok(other) => {
+                let message = format!("expected work, got {other:?}");
+                write_frame(&mut stream, &Message::Error { message }).map_err(ProtoError::Io)?;
+                return Ok(());
+            }
+            Err(ProtoError::Closed) => return Ok(()),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Computes one work item on a helper thread, heartbeating on the
+/// connection while it runs, then reports `done` or `failed`.
+fn run_work(stream: &mut TcpStream, id: u64, item: WorkItem) -> Result<(), ProtoError> {
+    let (tx, rx) = mpsc::channel();
+    thread::spawn(move || {
+        let _ = tx.send(compute(item));
+    });
+    loop {
+        match rx.recv_timeout(HEARTBEAT_INTERVAL) {
+            Ok(Ok(value)) => {
+                let checksum = crate::proto::value_checksum(&value);
+                return write_frame(
+                    stream,
+                    &Message::Done {
+                        id,
+                        checksum,
+                        value,
+                    },
+                )
+                .map_err(ProtoError::Io);
+            }
+            Ok(Err(error)) => {
+                return write_frame(stream, &Message::Failed { id, error }).map_err(ProtoError::Io)
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                write_frame(stream, &Message::Heartbeat { id }).map_err(ProtoError::Io)?;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // The helper thread died without sending — a double
+                // panic inside catch_unwind, which should be impossible;
+                // report rather than hang.
+                return write_frame(
+                    stream,
+                    &Message::Failed {
+                        id,
+                        error: "worker compute thread vanished".into(),
+                    },
+                )
+                .map_err(ProtoError::Io);
+            }
+        }
+    }
+}
+
+/// Resolves a [`Benchmark`] from its wire name (`Benchmark::name`).
+pub fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    Benchmark::STAMP
+        .into_iter()
+        .chain([Benchmark::HashmapLow, Benchmark::Labyrinth])
+        .find(|b| b.name() == name)
+}
+
+/// Executes one work item to its `Persist`-encoded value. Unknown
+/// coordinates and panics become `Err` strings (→ `failed` frames).
+pub fn compute(item: WorkItem) -> Result<Json, String> {
+    match item {
+        WorkItem::Cell {
+            benchmark,
+            policy,
+            threads,
+            seed,
+            scale_bits,
+        } => {
+            let benchmark = benchmark_by_name(&benchmark)
+                .ok_or_else(|| format!("unknown benchmark {benchmark:?}"))?;
+            let policy: PolicyKind = policy
+                .parse()
+                .map_err(|e| format!("unknown policy: {e}"))?;
+            let cell = Cell {
+                benchmark,
+                policy,
+                threads,
+            };
+            let scale = f64::from_bits(scale_bits);
+            let metrics = catch_unwind(AssertUnwindSafe(|| execute_cell(cell, seed, scale, None)))
+                .map_err(|p| format!("panicked: {}", panic_text(&p)))?;
+            Ok(metrics.to_store_json())
+        }
+        WorkItem::Scenario {
+            scenario,
+            policy,
+            seed,
+        } => {
+            let spec = library::builtin(&scenario)
+                .ok_or_else(|| format!("unknown scenario {scenario:?}"))?;
+            let policy: PolicyKind = policy
+                .parse()
+                .map_err(|e| format!("unknown policy: {e}"))?;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                RunRequest::scenario(&spec).policy(policy).seed(seed).run()
+            }))
+            .map_err(|p| format!("panicked: {}", panic_text(&p)))?;
+            Ok(outcome.to_store_json())
+        }
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_names_round_trip_through_the_wire_form() {
+        for b in Benchmark::STAMP
+            .into_iter()
+            .chain([Benchmark::HashmapLow, Benchmark::Labyrinth])
+        {
+            assert_eq!(benchmark_by_name(b.name()), Some(b));
+        }
+        assert_eq!(benchmark_by_name("no-such-benchmark"), None);
+    }
+
+    #[test]
+    fn unknown_coordinates_fail_cleanly() {
+        let err = compute(WorkItem::Cell {
+            benchmark: "genome".into(),
+            policy: "not-a-policy".into(),
+            threads: 2,
+            seed: 0,
+            scale_bits: 0.05f64.to_bits(),
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown policy"), "{err}");
+        let err = compute(WorkItem::Scenario {
+            scenario: "no-such-scenario".into(),
+            policy: "seer".into(),
+            seed: 0,
+        })
+        .unwrap_err();
+        assert!(err.contains("unknown scenario"), "{err}");
+    }
+
+    #[test]
+    fn cell_compute_matches_a_direct_local_run() {
+        let cell = Cell {
+            benchmark: Benchmark::Genome,
+            policy: PolicyKind::Rtm,
+            threads: 2,
+        };
+        let local = execute_cell(cell, 0, 0.05, None).to_store_json();
+        let wire = compute(WorkItem::Cell {
+            benchmark: "genome".into(),
+            policy: "rtm".into(),
+            threads: 2,
+            seed: 0,
+            scale_bits: 0.05f64.to_bits(),
+        })
+        .unwrap();
+        assert_eq!(wire.to_string_compact(), local.to_string_compact());
+    }
+}

@@ -1,0 +1,212 @@
+//! Property tests for the wire protocol's framing and message codec.
+//!
+//! The decoder's contract mirrors the store's (*never trust, never
+//! crash*): any byte sequence — a frame round-tripped intact, truncated
+//! at any offset, bit-flipped anywhere, or prefixed with a hostile
+//! length — must either decode to a message or return a typed
+//! [`ProtoError`]. No input may panic, and no oversized length prefix
+//! may allocate.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use seer_remote::{
+    encode_frame, read_frame, value_checksum, Message, ProtoError, WorkItem, MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+use seer_store::{Json, ToJson};
+
+/// Printable ASCII including quoting hazards (`"`, `\`).
+fn text() -> impl Strategy<Value = String> {
+    prop::collection::vec(0x20u8..0x7f, 0..24)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+fn work_item() -> impl Strategy<Value = WorkItem> {
+    (
+        any::<u8>(),
+        text(),
+        text(),
+        0usize..=8,
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(sel, name, policy, threads, seed, scale_bits)| {
+            if sel % 2 == 0 {
+                WorkItem::Cell {
+                    benchmark: name,
+                    policy,
+                    threads,
+                    seed,
+                    scale_bits,
+                }
+            } else {
+                WorkItem::Scenario {
+                    scenario: name,
+                    policy,
+                    seed,
+                }
+            }
+        })
+}
+
+/// A `done` value exercising every JSON node kind real payloads carry.
+fn value() -> impl Strategy<Value = Json> {
+    (
+        any::<u64>(),
+        -(1i64 << 40)..(1i64 << 40),
+        text(),
+        prop::collection::vec(any::<u64>(), 0..6),
+        any::<bool>(),
+    )
+        .prop_map(|(n, num, s, arr, b)| {
+            Json::object([
+                ("n", n.to_json()),
+                // Dyadic rational: float formatting round-trips exactly.
+                ("ratio", (num as f64 / 1024.0).to_json()),
+                ("s", s.to_json()),
+                (
+                    "arr",
+                    Json::Array(arr.into_iter().map(|v| v.to_json()).collect()),
+                ),
+                ("b", b.to_json()),
+            ])
+        })
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    (any::<u8>(), any::<u64>(), any::<u64>(), text(), work_item(), value()).prop_map(
+        |(sel, id, n, s, item, v)| match sel % 6 {
+            0 => Message::Hello {
+                protocol: n,
+                fingerprint: s,
+            },
+            1 => Message::Work { id, item },
+            2 => Message::Heartbeat { id },
+            3 => Message::Done {
+                id,
+                checksum: value_checksum(&v),
+                value: v,
+            },
+            4 => Message::Failed { id, error: s },
+            _ => Message::Error { message: s },
+        },
+    )
+}
+
+fn decode(bytes: &[u8]) -> Result<Message, ProtoError> {
+    read_frame(&mut Cursor::new(bytes))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every message kind round-trips through the actual frame bytes.
+    #[test]
+    fn frames_round_trip(msg in message()) {
+        let bytes = encode_frame(&msg);
+        prop_assert_eq!(decode(&bytes).expect("intact frame decodes"), msg);
+    }
+
+    /// Strict truncation at any offset is a clean error: the length
+    /// prefix claims more bytes than remain, so decoding can never
+    /// succeed — and must never panic.
+    #[test]
+    fn truncations_error_cleanly(msg in message(), cut_seed in any::<u64>()) {
+        let bytes = encode_frame(&msg);
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        prop_assert!(decode(&bytes[..cut]).is_err(), "truncated to {cut} bytes");
+    }
+
+    /// A random bit flip anywhere in the frame never panics. If the
+    /// mangled frame still decodes, the decoded message must itself
+    /// re-encode and round-trip (i.e. it is a *valid* message, not a
+    /// half-parsed one).
+    #[test]
+    fn bit_flips_never_panic(msg in message(), pos_seed in any::<u64>(), bit in 0u8..8) {
+        let mut bytes = encode_frame(&msg);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= 1 << bit;
+        if let Ok(decoded) = decode(&bytes) {
+            let reencoded = encode_frame(&decoded);
+            prop_assert_eq!(decode(&reencoded).expect("re-encoded frame decodes"), decoded);
+        }
+    }
+
+    /// Any length prefix over the cap is rejected as `TooLarge` before a
+    /// single payload byte is read (or allocated).
+    #[test]
+    fn oversized_length_prefixes_are_rejected(extra in any::<u32>(), noise in any::<u64>()) {
+        let len = (MAX_FRAME_LEN as u64 + 1 + extra as u64).min(u32::MAX as u64) as u32;
+        let mut bytes = len.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&noise.to_be_bytes());
+        match decode(&bytes) {
+            Err(ProtoError::TooLarge(n)) => prop_assert_eq!(n, len as u64),
+            other => panic!("expected TooLarge({len}), got {other:?}"),
+        }
+    }
+}
+
+/// Exhaustive corruption sweep over one representative frame: every
+/// truncation length and every single-bit flip at every offset, plus an
+/// oversized length prefix spliced in at each of the four prefix bytes.
+/// Deterministic (no sampling), so the "never panics, errors are typed"
+/// claim holds at literally every offset.
+#[test]
+fn corruption_sweep_at_every_offset() {
+    let msg = Message::Work {
+        id: 42,
+        item: WorkItem::Cell {
+            benchmark: "genome".into(),
+            policy: "seer".into(),
+            threads: 4,
+            seed: 0,
+            scale_bits: 0.08f64.to_bits(),
+        },
+    };
+    let bytes = encode_frame(&msg);
+
+    for cut in 0..bytes.len() {
+        assert!(decode(&bytes[..cut]).is_err(), "truncation at {cut}");
+    }
+    for pos in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mangled = bytes.clone();
+            mangled[pos] ^= 1 << bit;
+            // Must not panic; a surviving decode must be self-consistent.
+            if let Ok(decoded) = decode(&mangled) {
+                let reencoded = encode_frame(&decoded);
+                assert_eq!(
+                    decode(&reencoded).expect("re-encoded frame decodes"),
+                    decoded,
+                    "flip at byte {pos} bit {bit}"
+                );
+            }
+        }
+    }
+    for prefix_byte in 0..4 {
+        let mut mangled = bytes.clone();
+        // Force the prefix far over the cap by saturating one byte high
+        // enough that the big-endian value exceeds MAX_FRAME_LEN.
+        mangled[prefix_byte] = 0xff;
+        let claimed = u32::from_be_bytes([mangled[0], mangled[1], mangled[2], mangled[3]]) as u64;
+        let out = decode(&mangled);
+        if claimed > MAX_FRAME_LEN as u64 {
+            assert!(
+                matches!(out, Err(ProtoError::TooLarge(n)) if n == claimed),
+                "prefix byte {prefix_byte}: {out:?}"
+            );
+        } else {
+            assert!(out.is_err(), "prefix byte {prefix_byte}: {out:?}");
+        }
+    }
+}
+
+/// The handshake constants the two sides compare are stable: a change
+/// here must be deliberate (it cuts old coordinators off old workers).
+#[test]
+#[allow(clippy::assertions_on_constants)]
+fn protocol_version_is_pinned() {
+    assert_eq!(PROTOCOL_VERSION, 1);
+    assert!(MAX_FRAME_LEN >= 1 << 20, "frames must fit real payloads");
+}

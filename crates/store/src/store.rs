@@ -242,7 +242,16 @@ impl Store {
 
     fn quarantine(&self, path: &Path, why: &str) {
         self.quarantined.fetch_add(1, Ordering::Relaxed);
-        let target = path.with_extension("json.quarantined");
+        // Collision-safe: a shard can be damaged again after a recompute
+        // healed it (flaky disk, repeated in-place corruption), and the
+        // evidence from the earlier incident must survive. First incident
+        // gets `.json.quarantined`, later ones numbered suffixes.
+        let mut target = path.with_extension("json.quarantined");
+        let mut n = 0u32;
+        while target.exists() && n < 1000 {
+            n += 1;
+            target = path.with_extension(format!("json.quarantined.{n}"));
+        }
         let moved = std::fs::rename(path, &target).is_ok();
         eprintln!(
             "warning: quarantined damaged shard {} ({why}); {}",
@@ -369,6 +378,38 @@ mod tests {
         assert!(path.with_extension("json.quarantined").exists());
 
         // Recompute-and-save heals the slot.
+        store.save(&key, &TestValue(9));
+        assert_eq!(store.load(&key), Some(TestValue(9)));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn repeated_corruption_keeps_every_quarantined_copy() {
+        let root = temp_root("requarantine");
+        let store = Store::open(&root);
+        let key = TestKey("victim".into());
+        let path = store.shard_path(&key);
+
+        // Corrupt → quarantine → heal, twice over. The second quarantine
+        // must not clobber the first incident's evidence.
+        for round in 0..2 {
+            store.save(&key, &TestValue(9));
+            let mut bytes = std::fs::read_to_string(&path).unwrap();
+            bytes = bytes.replace("\"n\": 9", &format!("\"n\": {round}"));
+            std::fs::write(&path, bytes).unwrap();
+            assert_eq!(store.load::<_, TestValue>(&key), None, "round {round}");
+        }
+        assert_eq!(store.stats().quarantined, 2);
+        let first = path.with_extension("json.quarantined");
+        let second = path.with_extension("json.quarantined.1");
+        assert!(first.exists(), "first incident preserved");
+        assert!(second.exists(), "second incident gets a numbered suffix");
+        // Distinct payloads prove neither overwrote the other.
+        assert_ne!(
+            std::fs::read_to_string(&first).unwrap(),
+            std::fs::read_to_string(&second).unwrap()
+        );
+        // The slot itself is healthy again after a save.
         store.save(&key, &TestValue(9));
         assert_eq!(store.load(&key), Some(TestValue(9)));
         let _ = std::fs::remove_dir_all(&root);
