@@ -8,14 +8,21 @@
 //! the baseline ratio. Absolute events/sec are never gated: they move
 //! with the host CPU, while the in-process speedup ratio does not.
 //!
-//! Usage: `bench_check <report.json> [--baseline BENCH_006.json] [--tolerance 0.25]`
+//! With `--against <BENCH_*.json>` it additionally prints the perf
+//! *trajectory* from that (usually older) committed report to the fresh
+//! one — per-queue speedup-ratio and per-cell throughput movement — so
+//! perf PRs diff against the committed history instead of only
+//! intra-file ratios. Trends never gate; only a mode mismatch errors.
+//!
+//! Usage: `bench_check <report.json> [--baseline BENCH_006.json] [--tolerance 0.25] [--against BENCH_005.json]`
 
 use std::process::ExitCode;
 
-use seer_bench::harness::{compare_reports, validate_report};
+use seer_bench::harness::{compare_reports, trend_lines, validate_report};
 use seer_harness::Json;
 
-const USAGE: &str = "usage: bench_check <report.json> [--baseline FILE] [--tolerance FRACTION]";
+const USAGE: &str =
+    "usage: bench_check <report.json> [--baseline FILE] [--tolerance FRACTION] [--against FILE]";
 
 fn load(path: &str) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -25,6 +32,7 @@ fn load(path: &str) -> Result<Json, String> {
 fn run(args: &[String]) -> Result<(), String> {
     let mut report_path: Option<&str> = None;
     let mut baseline_path: Option<&str> = None;
+    let mut against_path: Option<&str> = None;
     let mut tolerance = 0.25f64;
 
     let mut it = args.iter();
@@ -33,6 +41,10 @@ fn run(args: &[String]) -> Result<(), String> {
             "--baseline" => {
                 baseline_path =
                     Some(it.next().ok_or_else(|| format!("--baseline needs a value\n{USAGE}"))?);
+            }
+            "--against" => {
+                against_path =
+                    Some(it.next().ok_or_else(|| format!("--against needs a value\n{USAGE}"))?);
             }
             "--tolerance" => {
                 let raw = it.next().ok_or_else(|| format!("--tolerance needs a value\n{USAGE}"))?;
@@ -76,6 +88,16 @@ fn run(args: &[String]) -> Result<(), String> {
             return Err(msg);
         }
         println!("{report_path}: within tolerance {tolerance} of baseline {baseline_path}");
+    }
+
+    if let Some(against_path) = against_path {
+        let against = load(against_path)?;
+        validate_report(&against).map_err(|e| format!("{against_path}: {e}"))?;
+        let lines = trend_lines(&report, &against)?;
+        println!("{report_path}: trend vs {against_path}:");
+        for line in &lines {
+            println!("  {line}");
+        }
     }
     Ok(())
 }

@@ -602,6 +602,71 @@ pub fn compare_reports(report: &Json, baseline: &Json, tolerance: f64) -> Vec<St
     violations
 }
 
+/// Renders the performance *trajectory* from an older committed report
+/// to a fresh one: per-queue-row speedup-ratio movement and per-cell
+/// throughput movement, as human-readable lines. Unlike
+/// [`compare_reports`] this never gates — absolute events/sec move with
+/// the host and ratios drift within tolerance — it exists so a perf PR
+/// diffs against the committed trajectory instead of only intra-file
+/// ratios. The only hard error is a mode mismatch (smoke numbers are
+/// not comparable to full numbers).
+pub fn trend_lines(report: &Json, against: &Json) -> Result<Vec<String>, String> {
+    let mode = report.get("mode").and_then(Json::as_str).unwrap_or("?");
+    let against_mode = against.get("mode").and_then(Json::as_str).unwrap_or("?");
+    if mode != against_mode {
+        return Err(format!(
+            "mode mismatch: report is {mode:?} but --against is {against_mode:?} \
+             (trends are only meaningful within one mode)"
+        ));
+    }
+
+    fn pct(now: f64, then: f64) -> String {
+        if then <= 0.0 {
+            return "n/a".into();
+        }
+        format!("{:+.1}%", (now / then - 1.0) * 100.0)
+    }
+
+    let mut lines = Vec::new();
+    let empty = Vec::new();
+    let queue = report.get("queue").and_then(Json::as_array).unwrap_or(&empty);
+    for old_row in against.get("queue").and_then(Json::as_array).unwrap_or(&empty) {
+        let n = old_row.get("n").and_then(Json::as_u64).unwrap_or(0);
+        let Some(row) = queue.iter().find(|r| r.get("n").and_then(Json::as_u64) == Some(n)) else {
+            lines.push(format!("queue n={n}: dropped from the matrix"));
+            continue;
+        };
+        let then = old_row.get("speedup_vs_heap").and_then(Json::as_f64).unwrap_or(0.0);
+        let now = row.get("speedup_vs_heap").and_then(Json::as_f64).unwrap_or(0.0);
+        lines.push(format!(
+            "queue n={n}: speedup_vs_heap {then:.3} -> {now:.3} ({})",
+            pct(now, then)
+        ));
+    }
+    let cells = report.get("cells").and_then(Json::as_array).unwrap_or(&empty);
+    for old_row in against.get("cells").and_then(Json::as_array).unwrap_or(&empty) {
+        let key = cell_key(old_row);
+        let Some(row) = cells.iter().find(|r| cell_key(r) == key) else {
+            lines.push(format!(
+                "cell {}/{}/t{}/s{}: dropped from the matrix",
+                key.0, key.1, key.2, key.3
+            ));
+            continue;
+        };
+        let then = old_row.get("events_per_sec").and_then(Json::as_f64).unwrap_or(0.0);
+        let now = row.get("events_per_sec").and_then(Json::as_f64).unwrap_or(0.0);
+        lines.push(format!(
+            "cell {}/{}/t{}/s{}: {then:.0} -> {now:.0} events/s ({})",
+            key.0,
+            key.1,
+            key.2,
+            key.3,
+            pct(now, then)
+        ));
+    }
+    Ok(lines)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

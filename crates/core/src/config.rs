@@ -7,7 +7,7 @@
 
 use seer_sim::Cycles;
 
-use crate::inference::Thresholds;
+use crate::inference::{Thresholds, MIN_DISCRIMINATIVE_SIGMA};
 
 /// Instrumentation costs charged to threads, in cycles (the source of the
 /// Figure 4 overhead). Scanning `activeTxs` costs `scan_per_slot` per
@@ -28,6 +28,46 @@ impl Default for ProfilingCosts {
             announce: 4,
             scan_per_slot: 2,
             register_fixed: 6,
+        }
+    }
+}
+
+/// The tunable scheduling knobs of Seer, gathered in one pure-data
+/// struct so external tooling (the `seer tune` search subsystem, config
+/// files, spec strings) can carry them around without knowing about the
+/// mechanism toggles in [`SeerConfig`].
+///
+/// `Default` is pinned to the paper's hand-picked constants, and
+/// [`SeerConfig::with_params`]`(SeerParams::default())` equals
+/// [`SeerConfig::full`] — the conformance suite holds the replay
+/// fixtures to that identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeerParams {
+    /// Sampling window: executions between lock-scheme recomputations.
+    pub update_period_execs: u64,
+    /// Executions between hill-climbing evaluations.
+    pub climb_period_execs: u64,
+    /// Statistics half-life in lock-scheme updates (`None` = never decay).
+    pub decay_every_updates: Option<u64>,
+    /// Minimum row standard deviation for the Gaussian percentile cutoff
+    /// to be considered discriminative.
+    pub min_sigma: f64,
+    /// Conjunctive activation threshold (`Th1` of Alg. 5).
+    pub th1: f64,
+    /// Gaussian percentile threshold (`Th2` of Alg. 5).
+    pub th2: f64,
+}
+
+impl Default for SeerParams {
+    fn default() -> Self {
+        let th = Thresholds::default();
+        Self {
+            update_period_execs: 300,
+            climb_period_execs: 1_000,
+            decay_every_updates: None,
+            min_sigma: MIN_DISCRIMINATIVE_SIGMA,
+            th1: th.th1,
+            th2: th.th2,
         }
     }
 }
@@ -64,6 +104,11 @@ pub struct SeerConfig {
     /// work proposes (its ref. \[5\]): unbiased statistics at a fraction of
     /// the monitoring overhead, at the cost of slower convergence.
     pub sampling: f64,
+    /// Minimum row standard deviation below which the Gaussian percentile
+    /// cutoff is not discriminative and the conditional check passes
+    /// unconditionally (paper:
+    /// [`MIN_DISCRIMINATIVE_SIGMA`]).
+    pub min_sigma: f64,
     /// Instrumentation cost model.
     pub costs: ProfilingCosts,
 }
@@ -88,7 +133,38 @@ impl SeerConfig {
             climb_period_execs: 1_000,
             decay_every_updates: None,
             sampling: 1.0,
+            min_sigma: MIN_DISCRIMINATIVE_SIGMA,
             costs: ProfilingCosts::default(),
+        }
+    }
+
+    /// Full Seer with its scheduling knobs replaced by `params` — the
+    /// bridge from the tuner's pure-data [`SeerParams`] to a runnable
+    /// configuration. Every mechanism toggle matches [`Self::full`], so
+    /// `with_params(SeerParams::default()) == full()`.
+    pub fn with_params(params: SeerParams) -> Self {
+        Self {
+            thresholds: Thresholds {
+                th1: params.th1,
+                th2: params.th2,
+            },
+            update_period_execs: params.update_period_execs,
+            climb_period_execs: params.climb_period_execs,
+            decay_every_updates: params.decay_every_updates,
+            min_sigma: params.min_sigma,
+            ..Self::full()
+        }
+    }
+
+    /// The scheduling knobs of this configuration, as a [`SeerParams`].
+    pub fn params(&self) -> SeerParams {
+        SeerParams {
+            update_period_execs: self.update_period_execs,
+            climb_period_execs: self.climb_period_execs,
+            decay_every_updates: self.decay_every_updates,
+            min_sigma: self.min_sigma,
+            th1: self.thresholds.th1,
+            th2: self.thresholds.th2,
         }
     }
 
@@ -225,5 +301,29 @@ mod tests {
     #[should_panic(expected = "sampling probability")]
     fn sampling_out_of_range_rejected() {
         SeerConfig::with_sampling(1.5);
+    }
+
+    #[test]
+    fn default_params_equal_the_paper_configuration() {
+        // The identity the replay fixtures lean on: routing the default
+        // knobs through the params bridge changes nothing.
+        assert_eq!(SeerConfig::with_params(SeerParams::default()), SeerConfig::full());
+        assert_eq!(SeerConfig::full().params(), SeerParams::default());
+    }
+
+    #[test]
+    fn params_round_trip_through_config() {
+        let p = SeerParams {
+            update_period_execs: 150,
+            climb_period_execs: 600,
+            decay_every_updates: Some(16),
+            min_sigma: 0.02,
+            th1: 0.25,
+            th2: 0.9,
+        };
+        let cfg = SeerConfig::with_params(p);
+        assert_eq!(cfg.params(), p);
+        // Mechanism toggles stay at the full-Seer settings.
+        assert!(cfg.tx_locks && cfg.core_locks && cfg.htm_lock_acquisition && cfg.hill_climbing);
     }
 }

@@ -91,6 +91,18 @@ pub fn infer_conflict_pairs(stats: &MergedStats, th: Thresholds) -> Vec<(BlockId
     infer_conflict_pairs_traced(stats, th, None)
 }
 
+/// [`infer_conflict_pairs`] with an explicit discriminative-sigma floor
+/// instead of the paper-pinned [`MIN_DISCRIMINATIVE_SIGMA`] constant. The
+/// tuner searches this knob; every paper-default path delegates here with
+/// the constant, so fixtures are unaffected.
+pub fn infer_conflict_pairs_with(
+    stats: &MergedStats,
+    th: Thresholds,
+    min_sigma: f64,
+) -> Vec<(BlockId, BlockId)> {
+    infer_conflict_pairs_traced_with(stats, th, min_sigma, None)
+}
+
 /// [`infer_conflict_pairs`] with decision provenance: when `on_row` is
 /// given, it receives one [`RowTrace`] per atomic block carrying the
 /// fitted Gaussian, the percentile cutoff actually used and every pair's
@@ -103,6 +115,17 @@ pub fn infer_conflict_pairs(stats: &MergedStats, th: Thresholds) -> Vec<(BlockId
 pub fn infer_conflict_pairs_traced(
     stats: &MergedStats,
     th: Thresholds,
+    on_row: Option<&mut dyn FnMut(RowTrace)>,
+) -> Vec<(BlockId, BlockId)> {
+    infer_conflict_pairs_traced_with(stats, th, MIN_DISCRIMINATIVE_SIGMA, on_row)
+}
+
+/// [`infer_conflict_pairs_traced`] with an explicit discriminative-sigma
+/// floor (see [`infer_conflict_pairs_with`]).
+pub fn infer_conflict_pairs_traced_with(
+    stats: &MergedStats,
+    th: Thresholds,
+    min_sigma: f64,
     mut on_row: Option<&mut dyn FnMut(RowTrace)>,
 ) -> Vec<(BlockId, BlockId)> {
     let n = stats.blocks();
@@ -112,7 +135,7 @@ pub fn infer_conflict_pairs_traced(
         row.clear();
         row.extend((0..n).map(|y| conditional_abort_probability(stats, x, y)));
         let (eta, sigma2) = mean_variance(&row);
-        let discriminative = sigma2.sqrt() >= MIN_DISCRIMINATIVE_SIGMA;
+        let discriminative = sigma2.sqrt() >= min_sigma;
         let cutoff = gaussian_percentile(eta, sigma2, th.th2);
         let mut row_trace = on_row.as_ref().map(|_| RowTrace {
             x,
@@ -336,6 +359,43 @@ mod tests {
                 assert_eq!(p.conjunctive, conjunctive_abort_probability(&m, r.x, p.y));
             }
         }
+    }
+
+    #[test]
+    fn sigma_floor_gates_the_percentile_filter() {
+        // cond(0,1)=0.875 towers over cond(0,2..5)=0.2 — the row is
+        // discriminative at the default floor, and the percentile filter
+        // rejects the low-conditional pairs. Raising the floor above the
+        // row's sigma disables the filter and lets every Th1 survivor in.
+        let m = stats_pairwise(5, |t| {
+            for _ in 0..35 {
+                t.register_abort(0, [1].into_iter());
+            }
+            for y in 2..5usize {
+                for _ in 0..4 {
+                    t.register_abort(0, [y].into_iter());
+                }
+            }
+            for _ in 0..5 {
+                t.register_commit(0, [1].into_iter());
+            }
+            for y in 2..5usize {
+                for _ in 0..16 {
+                    t.register_commit(0, [y].into_iter());
+                }
+            }
+        });
+        let th = Thresholds { th1: 0.03, th2: 0.8 };
+        // At the paper constant, the _with variant is the plain one.
+        assert_eq!(
+            infer_conflict_pairs_with(&m, th, MIN_DISCRIMINATIVE_SIGMA),
+            infer_conflict_pairs(&m, th)
+        );
+        let strict = infer_conflict_pairs_with(&m, th, MIN_DISCRIMINATIVE_SIGMA);
+        assert!(!strict.contains(&(0, 2)));
+        // A floor above any realistic sigma: Th2 never participates.
+        let lax = infer_conflict_pairs_with(&m, th, 10.0);
+        assert!(lax.contains(&(0, 2)), "pairs = {lax:?}");
     }
 
     #[test]

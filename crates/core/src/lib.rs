@@ -55,8 +55,11 @@ pub mod locktable;
 pub mod scheduler;
 pub mod stats;
 
-pub use config::{ProfilingCosts, SeerConfig};
+pub use config::{ProfilingCosts, SeerConfig, SeerParams};
 pub use hillclimb::HillClimber;
-pub use inference::{infer_conflict_pairs, infer_conflict_pairs_traced, Thresholds};
+pub use inference::{
+    infer_conflict_pairs, infer_conflict_pairs_traced, infer_conflict_pairs_traced_with,
+    infer_conflict_pairs_with, Thresholds,
+};
 pub use locktable::LockTable;
 pub use scheduler::{Seer, SeerCounters, UpdateRecord};

@@ -33,7 +33,7 @@ use seer_sim::{Cycles, ThreadId};
 use crate::active::ActiveTxs;
 use crate::config::SeerConfig;
 use crate::hillclimb::HillClimber;
-use crate::inference::{infer_conflict_pairs, infer_conflict_pairs_traced, Thresholds};
+use crate::inference::{infer_conflict_pairs_traced_with, infer_conflict_pairs_with, Thresholds};
 use crate::locktable::LockTable;
 use crate::stats::{MergedStats, ThreadStats};
 
@@ -213,9 +213,10 @@ impl Seer {
         let pairs = match trace {
             Some((sink, now)) if sink.enabled() => {
                 let mut rows = Vec::with_capacity(self.blocks);
-                let pairs = infer_conflict_pairs_traced(
+                let pairs = infer_conflict_pairs_traced_with(
                     &self.merged,
                     self.thresholds,
+                    self.cfg.min_sigma,
                     Some(&mut |r| rows.push(r)),
                 );
                 sink.inference(InferenceTrace {
@@ -229,7 +230,7 @@ impl Seer {
                 });
                 pairs
             }
-            _ => infer_conflict_pairs(&self.merged, self.thresholds),
+            _ => infer_conflict_pairs_with(&self.merged, self.thresholds, self.cfg.min_sigma),
         };
         self.table.rebuild(&pairs);
         self.counters.updates += 1;

@@ -91,7 +91,7 @@ impl seer_store::StoreKey for CellKey {
         format!(
             "{}/{}/t{}/s{}/x{:016x}",
             self.benchmark.name(),
-            self.policy.name(),
+            self.policy.spec(),
             self.threads,
             self.seed,
             self.scale_bits
@@ -101,7 +101,7 @@ impl seer_store::StoreKey for CellKey {
     fn key_json(&self) -> Json {
         Json::object([
             ("benchmark", self.benchmark.name().to_json()),
-            ("policy", self.policy.name().to_json()),
+            ("policy", self.policy.spec().to_json()),
             ("threads", self.threads.to_json()),
             ("seed", self.seed.to_json()),
             ("scale", self.scale().to_json()),

@@ -50,7 +50,7 @@ pub use experiments::{
     table3, AccuracyResult, ConvergenceResult, FineGrainedResult, THREADS_FULL, THREADS_TABLE,
 };
 pub use json::{Json, ToJson};
-pub use policy::{PolicyKind, UnknownPolicy};
+pub use policy::{PolicyKind, TunedParams, UnknownPolicy};
 pub use report::{maybe_write_json, Panel, PercentTable, Series};
 pub use runner::{
     default_jobs, default_seeds, execute_cell, geometric_mean, run_cell, sim_seed, Cell,

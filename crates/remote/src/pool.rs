@@ -476,7 +476,7 @@ impl RemoteResolver<CellKey, RunMetrics> for WorkerPool {
     fn resolve_remote(&self, key: &CellKey) -> RemoteOutcome<RunMetrics> {
         self.resolve_decoded(&WorkItem::Cell {
             benchmark: key.benchmark.name().to_string(),
-            policy: key.policy.name().to_string(),
+            policy: key.policy.spec(),
             threads: key.threads,
             seed: key.seed,
             scale_bits: key.scale().to_bits(),
@@ -488,7 +488,7 @@ impl RemoteResolver<ScenarioKey, ScenarioOutcome> for WorkerPool {
     fn resolve_remote(&self, key: &ScenarioKey) -> RemoteOutcome<ScenarioOutcome> {
         self.resolve_decoded(&WorkItem::Scenario {
             scenario: key.scenario.clone(),
-            policy: key.policy.name().to_string(),
+            policy: key.policy.spec(),
             seed: key.seed,
         })
     }

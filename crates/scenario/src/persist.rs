@@ -21,13 +21,13 @@ impl StoreKey for ScenarioKey {
     const KIND: &'static str = "scenario";
 
     fn key_id(&self) -> String {
-        format!("{}/{}/s{}", self.scenario, self.policy.name(), self.seed)
+        format!("{}/{}/s{}", self.scenario, self.policy.spec(), self.seed)
     }
 
     fn key_json(&self) -> Json {
         Json::object([
             ("scenario", self.scenario.to_json()),
-            ("policy", self.policy.name().to_json()),
+            ("policy", self.policy.spec().to_json()),
             ("seed", self.seed.to_json()),
         ])
     }

@@ -1,0 +1,59 @@
+//! `tune_check` — schema gate for `seer tune` leaderboard reports.
+//!
+//! ```text
+//! tune_check REPORT.json [MORE.json ...]
+//! ```
+//!
+//! Exit 0 when every document validates against the schema documented
+//! in `DESIGN.md` §15 (and enforced by `seer_tune::validate_report`);
+//! exit 1 with one line per violation otherwise. CI runs this over the
+//! smoke-search output so a malformed leaderboard fails the `tune` job
+//! rather than a downstream consumer.
+
+use std::process::ExitCode;
+
+use seer_store::Json;
+use seer_tune::validate_report;
+
+const USAGE: &str = "usage: tune_check REPORT.json [MORE.json ...]";
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() || paths.iter().any(|p| p == "--help" || p == "-h") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut violations = 0usize;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                violations += 1;
+                continue;
+            }
+        };
+        let json = match Json::parse(&text) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("{path}: not JSON: {e}");
+                violations += 1;
+                continue;
+            }
+        };
+        let found = validate_report(&json);
+        for v in &found {
+            eprintln!("{path}: {v}");
+        }
+        if found.is_empty() {
+            println!("{path}: ok");
+        }
+        violations += found.len();
+    }
+    if violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("tune_check: {violations} violation(s)");
+        ExitCode::FAILURE
+    }
+}
