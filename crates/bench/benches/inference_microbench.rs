@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use seer::gaussian::{gaussian_percentile, std_normal_quantile};
-use seer::inference::{infer_conflict_pairs, Thresholds};
+use seer::inference::{infer_conflict_pairs, infer_conflict_pairs_with, Thresholds};
 use seer::stats::{MergedStats, ThreadStats};
-use seer::{Seer, SeerConfig};
+use seer::{InferenceEngine, Seer, SeerConfig};
 use seer_runtime::{run, DriverConfig, Workload};
 use seer_sim::SimRng;
 use seer_stamp::Benchmark;
@@ -40,6 +40,55 @@ fn update_locks_cost(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// Full recompute vs the incremental [`InferenceEngine`] under a sparse
+/// update stream (≤ 10% of rows dirtied between rounds) — the steady
+/// state of a periodic scheduler round. Same sizes as the `inference`
+/// group of the JSON report (`seer bench --mode inference`).
+fn full_vs_incremental(c: &mut Criterion) {
+    use seer::inference::MIN_DISCRIMINATIVE_SIGMA;
+
+    let th = Thresholds::default();
+    for blocks in [16usize, 64, 256] {
+        let dirty = (blocks / 10).max(1);
+        let mut group = c.benchmark_group(format!("inference_round/{blocks}"));
+        let mut rng = SimRng::new(0x1D1E);
+        let mut sparse = move |stats: &mut MergedStats| {
+            for _ in 0..dirty {
+                let x = rng.below(blocks as u64) as usize;
+                let y = rng.below(blocks as u64) as usize;
+                stats.add_abort(x, [y].into_iter());
+            }
+        };
+
+        let mut full_stats = populated_stats(blocks, 3);
+        group.bench_function("full", |b| {
+            b.iter(|| {
+                sparse(&mut full_stats);
+                black_box(infer_conflict_pairs_with(
+                    &full_stats,
+                    th,
+                    MIN_DISCRIMINATIVE_SIGMA,
+                ))
+            });
+        });
+
+        let mut incr_stats = populated_stats(blocks, 3);
+        let mut engine = InferenceEngine::new();
+        engine.round(&mut incr_stats, th, MIN_DISCRIMINATIVE_SIGMA); // prime
+        group.bench_function("incremental", |b| {
+            b.iter(|| {
+                sparse(&mut incr_stats);
+                black_box(
+                    engine
+                        .round(&mut incr_stats, th, MIN_DISCRIMINATIVE_SIGMA)
+                        .len(),
+                )
+            });
+        });
+        group.finish();
+    }
 }
 
 fn gaussian_math(c: &mut Criterion) {
@@ -102,6 +151,6 @@ fn sampling_ablation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().without_plots();
-    targets = update_locks_cost, gaussian_math, merge_period_ablation, sampling_ablation
+    targets = update_locks_cost, full_vs_incremental, gaussian_math, merge_period_ablation, sampling_ablation
 }
 criterion_main!(benches);

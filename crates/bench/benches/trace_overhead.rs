@@ -8,9 +8,10 @@
 //! work to the executor (its miss counter is untouched by traced runs).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use seer::{Seer, SeerConfig};
 use seer_bench::{bench_executor, simulate_cold, simulate_cold_traced};
 use seer_harness::{Cell, PolicyKind};
-use seer_runtime::{MemoryTraceSink, NullTraceSink};
+use seer_runtime::{DriverConfig, MemoryTraceSink, NullTraceSink, Workload};
 use seer_stamp::Benchmark;
 use std::hint::black_box;
 
@@ -48,6 +49,27 @@ fn assert_sink_is_pure_observer(cell: Cell) {
     let collected = simulate_cold_traced(cell, &mut memory);
     assert_eq!(untraced.trace_hash, collected.trace_hash);
     assert!(!memory.lifecycle.is_empty());
+
+    // The incremental engine changed who fills the trace rows (cached
+    // fits replayed through `RowFit::into_row_trace`, pair buffers drawn
+    // from the recycled pool): every inference record must still carry
+    // one row per atomic block, each with its fitted Gaussian. The bench
+    // cell is too small to hit a periodic round, so this check runs a
+    // contended cell at a scale that does (same shape as the conformance
+    // decision snapshot).
+    let mut w = Benchmark::KmeansHigh.instantiate(8, 200);
+    let blocks = w.num_blocks();
+    let mut sched = Seer::new(SeerConfig::full(), 8, blocks);
+    let mut rounds = MemoryTraceSink::new();
+    seer_runtime::run_traced(&mut w, &mut sched, &DriverConfig::paper_machine(8, 1), &mut rounds);
+    assert!(!rounds.inference.is_empty(), "traced run recorded no inference rounds");
+    for inf in &rounds.inference {
+        assert_eq!(inf.rows.len(), blocks, "inference record is missing rows");
+        for row in &inf.rows {
+            assert_eq!(row.pairs.len(), blocks, "row {} is missing pair verdicts", row.x);
+            assert!(row.sigma2 >= 0.0);
+        }
+    }
 }
 
 fn trace_overhead(c: &mut Criterion) {

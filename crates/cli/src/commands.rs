@@ -15,7 +15,9 @@ use seer_stamp::Benchmark;
 
 use crate::args::{Args, ParseError};
 
-/// All benchmarks the CLI can name (STAMP + the hash-map probe).
+/// The fixed benchmarks the CLI lists (STAMP + the hash-map probe).
+/// The parameterized `synth@blocks=N` probe is parsed by spec instead —
+/// see [`parse_benchmark`].
 fn benchmarks() -> Vec<Benchmark> {
     Benchmark::STAMP
         .into_iter()
@@ -23,10 +25,12 @@ fn benchmarks() -> Vec<Benchmark> {
         .collect()
 }
 
+/// Parses `--benchmark`: a fixed member's name, `synth`, or
+/// `synth@blocks=N`. Labyrinth stays CLI-hidden (it exists to validate
+/// the paper's exclusion, not to be run from here).
 fn parse_benchmark(name: &str) -> Result<Benchmark, ParseError> {
-    benchmarks()
-        .into_iter()
-        .find(|b| b.name() == name)
+    Benchmark::from_spec(name)
+        .filter(|b| *b != Benchmark::Labyrinth)
         .ok_or_else(|| ParseError(format!("unknown benchmark {name:?} (see `seer list`)")))
 }
 
@@ -56,8 +60,9 @@ pub fn print_usage() {
          \x20                              [--json true] [--out TUNE.json]\n\
          \x20                              [--store DIR] [--resume] [--workers A1,A2]\n\
          \x20 serve    worker daemon       [--addr HOST:PORT]   (default 127.0.0.1:0)\n\
-         \x20 bench    perf measurement    [--mode smoke|full] [--out BENCH_006.json]\n\
-         \x20          (see DESIGN.md §12) [--repeats N] [--jobs N] [--json true]\n\
+         \x20 bench    perf measurement    [--mode smoke|full|inference]\n\
+         \x20          (see DESIGN.md §12) [--out BENCH_010.json] [--repeats N]\n\
+         \x20                              [--jobs N] [--json true]\n\
          \x20 inspect  Seer's learned state --benchmark B --threads N [--txs N] [--seed N]\n\
          \x20 explain  decision history     --benchmark B --policy P --pair X,Y\n\
          \x20          for one block pair   [--threads N] [--seed N] [--txs N]\n\
@@ -89,6 +94,14 @@ pub fn list() {
     for b in benchmarks() {
         println!("  {:<14} ({} txs/thread by default)", b.name(), b.default_txs());
     }
+    let synth = Benchmark::Synth { blocks: seer_stamp::synth::DEFAULT_BLOCKS };
+    println!(
+        "  {:<14} ({} txs/thread by default; many-blocks scaling probe,\n\
+         \x20                use synth@blocks=N for N atomic blocks, default {})",
+        "synth",
+        synth.default_txs(),
+        seer_stamp::synth::DEFAULT_BLOCKS
+    );
     println!("\npolicies:");
     for p in PolicyKind::ALL {
         println!("  {:<26} {}", p.name(), p.describe());
@@ -176,7 +189,7 @@ pub fn run_one(args: &Args) -> Result<(), ParseError> {
     if json {
         use seer_harness::{Json, ToJson};
         let out = Json::object([
-            ("benchmark", benchmark.name().to_json()),
+            ("benchmark", benchmark.spec().to_json()),
             ("policy", policy.label().to_json()),
             ("threads", threads.to_json()),
             ("seed", seed.to_json()),
@@ -189,7 +202,7 @@ pub fn run_one(args: &Args) -> Result<(), ParseError> {
         ]);
         println!("{}", out.to_string_pretty());
     } else {
-        println!("{} under {} with {threads} thread(s), seed {seed}:", benchmark.name(), policy.label());
+        println!("{} under {} with {threads} thread(s), seed {seed}:", benchmark.spec(), policy.label());
         println!("{}", metrics_summary(&m));
     }
     Ok(())
@@ -398,7 +411,7 @@ pub fn sweep(args: &Args) -> Result<(), ParseError> {
         );
     }
 
-    println!("{} — speedup over sequential (seed {seed})", benchmark.name());
+    println!("{} — speedup over sequential (seed {seed})", benchmark.spec());
     print!("{:>8}", "threads");
     for p in &policies {
         print!("{:>12}", p.label());
@@ -428,7 +441,7 @@ pub fn sweep(args: &Args) -> Result<(), ParseError> {
         for f in &report.failed {
             eprintln!(
                 "sweep: FAILED {}/{}/t{} after {} attempt(s): {}",
-                f.key.benchmark.name(),
+                f.key.benchmark.spec(),
                 f.key.policy.name(),
                 f.key.threads,
                 f.attempts,
@@ -624,10 +637,12 @@ pub fn bench(args: &Args) -> Result<(), ParseError> {
     args.allow_only(&["mode", "out", "repeats", "jobs", "json"])?;
     let mode_raw = args.get("mode").unwrap_or("smoke");
     let mode = BenchMode::parse(mode_raw).ok_or_else(|| {
-        ParseError(format!("--mode must be \"smoke\" or \"full\", got {mode_raw:?}"))
+        ParseError(format!(
+            "--mode must be \"smoke\", \"full\" or \"inference\", got {mode_raw:?}"
+        ))
     })?;
     let json: bool = args.get_parsed("json", false)?;
-    let out = args.get("out").unwrap_or("BENCH_006.json");
+    let out = args.get("out").unwrap_or("BENCH_010.json");
     let repeats = repeats_or_warn(args, mode.default_repeats());
     let jobs = jobs_or_warn(args);
 
@@ -639,19 +654,37 @@ pub fn bench(args: &Args) -> Result<(), ParseError> {
     if json {
         println!("{}", report.to_json().to_string_pretty());
     } else {
-        println!("event queue vs reference BinaryHeap ({repeats} repeat(s), best kept):");
-        for q in &report.queue {
+        println!(
+            "inference round, full recompute vs incremental engine \
+             ({repeats} repeat(s), best kept):"
+        );
+        for i in &report.inference {
             println!(
-                "  n={:<7} {:>12.0} events/s (heap {:>12.0})  speedup {:.2}x",
-                q.n, q.queue_events_per_sec, q.heap_events_per_sec, q.speedup_vs_heap
+                "  blocks={:<5} dirty={:<4} {:>10.0} full rounds/s  {:>12.0} incr rounds/s  speedup {:.2}x",
+                i.blocks,
+                i.dirty_rows,
+                i.full_rounds_per_sec,
+                i.incremental_rounds_per_sec,
+                i.speedup_vs_full
             );
         }
-        println!("\nworkload matrix ({} mode, scale {}):", mode.name(), mode.scale());
-        for c in &report.cells {
-            println!(
-                "  {:<14} {:<6} {} thread(s)  {:>10} events  {:>12.0} events/s  {:>8.1} ms",
-                c.benchmark, c.policy, c.threads, c.events, c.events_per_sec, c.wall_ms
-            );
+        if !report.queue.is_empty() {
+            println!("\nevent queue vs reference BinaryHeap ({repeats} repeat(s), best kept):");
+            for q in &report.queue {
+                println!(
+                    "  n={:<7} {:>12.0} events/s (heap {:>12.0})  speedup {:.2}x",
+                    q.n, q.queue_events_per_sec, q.heap_events_per_sec, q.speedup_vs_heap
+                );
+            }
+        }
+        if !report.cells.is_empty() {
+            println!("\nworkload matrix ({} mode, scale {}):", mode.name(), mode.scale());
+            for c in &report.cells {
+                println!(
+                    "  {:<14} {:<6} {} thread(s)  {:>10} events  {:>12.0} events/s  {:>8.1} ms",
+                    c.benchmark, c.policy, c.threads, c.events, c.events_per_sec, c.wall_ms
+                );
+            }
         }
     }
     eprintln!("bench: report written to {out}");
@@ -681,7 +714,7 @@ pub fn inspect(args: &Args) -> Result<(), ParseError> {
     );
     sched.force_update();
 
-    println!("{} under full Seer, {threads} thread(s):\n", benchmark.name());
+    println!("{} under full Seer, {threads} thread(s):\n", benchmark.spec());
     println!("{}\n", metrics_summary(&m));
     println!(
         "thresholds          Th1 = {:.2}, Th2 = {:.2} ({} updates, {} climb steps)",
@@ -747,7 +780,7 @@ pub fn explain_text(cell: Cell, seed: u64, scale: f64, x: usize, y: usize) -> St
          {} commits, {} inference round(s) recorded\n",
         workload.block_name(x),
         workload.block_name(y),
-        cell.benchmark.name(),
+        cell.benchmark.spec(),
         cell.policy.label(),
         cell.threads,
         m.commits,
@@ -832,7 +865,7 @@ pub fn explain(args: &Args) -> Result<(), ParseError> {
             eprintln!(
                 "warning: pair ({x}, {y}) is out of range for {} \
                  ({blocks} atomic blocks, indices 0..={}); skipping",
-                benchmark.name(),
+                benchmark.spec(),
                 blocks - 1
             );
         });
@@ -1175,6 +1208,23 @@ mod tests {
     }
 
     #[test]
+    fn benchmark_lookup_accepts_synth_specs() {
+        assert_eq!(
+            parse_benchmark("synth").unwrap(),
+            Benchmark::Synth { blocks: seer_stamp::synth::DEFAULT_BLOCKS }
+        );
+        assert_eq!(
+            parse_benchmark("synth@blocks=48").unwrap(),
+            Benchmark::Synth { blocks: 48 }
+        );
+        assert!(parse_benchmark("synth@blocks=0").is_err());
+        assert!(parse_benchmark("synth@blocks=lots").is_err());
+        // Labyrinth is modelled (to validate the paper's exclusion) but
+        // deliberately not runnable from the CLI.
+        assert!(parse_benchmark("labyrinth").is_err());
+    }
+
+    #[test]
     fn cli_names_every_policy_variant() {
         // The Figure 5 cumulative variants included — `seer run`/`sweep`
         // can reproduce every cell of the evaluation.
@@ -1272,6 +1322,17 @@ mod tests {
         assert!(bench(&a).is_err());
         let a = args(&["bench", "--json", "maybe"]);
         assert!(bench(&a).is_err());
+        // The hard error names all three accepted modes.
+        let err = bench(&args(&["bench", "--mode", "warp"])).unwrap_err();
+        assert!(err.0.contains("inference"), "{}", err.0);
+    }
+
+    #[test]
+    fn run_command_executes_on_synth_spec() {
+        let a = args(&[
+            "run", "--benchmark", "synth@blocks=24", "--threads", "2", "--txs", "30",
+        ]);
+        run_one(&a).expect("synth run should succeed");
     }
 
     #[test]

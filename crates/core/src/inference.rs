@@ -130,44 +130,111 @@ pub fn infer_conflict_pairs_traced_with(
 ) -> Vec<(BlockId, BlockId)> {
     let n = stats.blocks();
     let mut pairs = Vec::new();
-    let mut row = Vec::with_capacity(n);
+    let mut cond = Vec::with_capacity(n);
+    let mut row_pairs: Vec<BlockId> = Vec::with_capacity(n);
     for x in 0..n {
-        row.clear();
-        row.extend((0..n).map(|y| conditional_abort_probability(stats, x, y)));
-        let (eta, sigma2) = mean_variance(&row);
-        let discriminative = sigma2.sqrt() >= min_sigma;
-        let cutoff = gaussian_percentile(eta, sigma2, th.th2);
-        let mut row_trace = on_row.as_ref().map(|_| RowTrace {
-            x,
-            eta,
-            sigma2,
-            cutoff,
-            discriminative,
-            pairs: Vec::with_capacity(n),
-        });
-        for (y, &cond) in row.iter().enumerate() {
-            let conj = conjunctive_abort_probability(stats, x, y);
-            // Strict inequalities as in the paper; the Th2 percentile only
-            // participates when the row carries discriminative signal.
-            let conjunctive_ok = conj > th.th1;
-            let conditional_ok = !discriminative || cond > cutoff;
-            if conjunctive_ok && conditional_ok {
-                pairs.push((x, y));
-            }
-            if let Some(rt) = row_trace.as_mut() {
-                rt.pairs.push(PairDecision {
-                    y,
-                    conditional: cond,
-                    conjunctive: conj,
-                    verdict: Verdict::from_checks(conjunctive_ok, conditional_ok),
-                });
-            }
-        }
-        if let (Some(cb), Some(rt)) = (on_row.as_mut(), row_trace) {
-            cb(rt);
+        let mut trace = on_row.as_ref().map(|_| Vec::with_capacity(n));
+        let fit = compute_row(stats, x, th, min_sigma, &mut cond, &mut row_pairs, trace.as_mut());
+        pairs.extend(row_pairs.iter().map(|&y| (x, y)));
+        if let (Some(cb), Some(tr)) = (on_row.as_mut(), trace) {
+            cb(fit.into_row_trace(x, tr));
         }
     }
     pairs
+}
+
+/// The cacheable per-row summary of one Alg. 5 row: the fitted Gaussian,
+/// the percentile cutoff actually compared against, and the sigma-floor
+/// verdict. Everything a [`RowTrace`] carries except the pair list.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RowFit {
+    /// Fitted mean `η` of the row's conditional probabilities.
+    pub eta: f64,
+    /// Fitted variance `σ²` of the row's conditional probabilities.
+    pub sigma2: f64,
+    /// The `Th2`-percentile cutoff of the fitted Gaussian.
+    pub cutoff: f64,
+    /// Whether `σ` cleared the discriminative floor (Th2 participates).
+    pub discriminative: bool,
+}
+
+impl RowFit {
+    /// Rehydrates a full [`RowTrace`] from the cached fit plus a pair list.
+    pub fn into_row_trace(self, x: BlockId, pairs: Vec<PairDecision>) -> RowTrace {
+        RowTrace {
+            x,
+            eta: self.eta,
+            sigma2: self.sigma2,
+            cutoff: self.cutoff,
+            discriminative: self.discriminative,
+            pairs,
+        }
+    }
+}
+
+/// The single shared row kernel of Alg. 5: fills `cond` with row `x`'s
+/// conditional probabilities, fits the Gaussian, and rewrites `out_pairs`
+/// with the serialized partners `y` of `x` (in ascending `y`). When
+/// `trace` is given, one [`PairDecision`] per `y` is appended to it — the
+/// verdicts come from the *same* comparisons that emitted the pairs, so
+/// traced and untraced decisions can never diverge.
+///
+/// Every inference entry point — the free full-recompute functions above
+/// and the incremental [`crate::InferenceEngine`] — funnels through this
+/// kernel, which is what makes cached rows bit-identical to fresh ones.
+pub(crate) fn compute_row(
+    stats: &MergedStats,
+    x: BlockId,
+    th: Thresholds,
+    min_sigma: f64,
+    cond: &mut Vec<f64>,
+    out_pairs: &mut Vec<BlockId>,
+    mut trace: Option<&mut Vec<PairDecision>>,
+) -> RowFit {
+    let commit_row = stats.commit_row(x);
+    let abort_row = stats.abort_row(x);
+    cond.clear();
+    cond.extend(abort_row.iter().zip(commit_row).map(|(&a, &c)| {
+        let (a, c) = (a as f64, c as f64);
+        if a + c == 0.0 {
+            0.0
+        } else {
+            a / (a + c)
+        }
+    }));
+    let (eta, sigma2) = mean_variance(cond);
+    let discriminative = sigma2.sqrt() >= min_sigma;
+    let cutoff = gaussian_percentile(eta, sigma2, th.th2);
+    // e_x is row-constant: hoist the load, float conversion and the
+    // zero-executions test out of the pair loop. The division itself stays
+    // per-pair (`a / e_x`) — a reciprocal multiply would round differently
+    // and break fixture bit-identity.
+    let e = stats.e(x) as f64;
+    out_pairs.clear();
+    for (y, &cond_p) in cond.iter().enumerate() {
+        let conj = if e == 0.0 { 0.0 } else { abort_row[y] as f64 / e };
+        // Strict inequalities as in the paper; the Th2 percentile only
+        // participates when the row carries discriminative signal.
+        let conjunctive_ok = conj > th.th1;
+        let conditional_ok = !discriminative || cond_p > cutoff;
+        if conjunctive_ok && conditional_ok {
+            out_pairs.push(y);
+        }
+        if let Some(tr) = trace.as_mut() {
+            tr.push(PairDecision {
+                y,
+                conditional: cond_p,
+                conjunctive: conj,
+                verdict: Verdict::from_checks(conjunctive_ok, conditional_ok),
+            });
+        }
+    }
+    RowFit {
+        eta,
+        sigma2,
+        cutoff,
+        discriminative,
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,7 @@
 
 pub mod active;
 pub mod config;
+pub mod engine;
 pub mod gaussian;
 pub mod hillclimb;
 pub mod inference;
@@ -56,10 +57,11 @@ pub mod scheduler;
 pub mod stats;
 
 pub use config::{ProfilingCosts, SeerConfig, SeerParams};
+pub use engine::InferenceEngine;
 pub use hillclimb::HillClimber;
 pub use inference::{
     infer_conflict_pairs, infer_conflict_pairs_traced, infer_conflict_pairs_traced_with,
-    infer_conflict_pairs_with, Thresholds,
+    infer_conflict_pairs_with, RowFit, Thresholds,
 };
 pub use locktable::LockTable;
 pub use scheduler::{Seer, SeerCounters, UpdateRecord};

@@ -68,17 +68,21 @@ impl LockTable {
     /// `x`'s lock (Alg. 5 lines 73–74). Rows are deduplicated and sorted.
     pub fn rebuild(&mut self, pairs: &[(BlockId, BlockId)]) {
         let blocks = self.rows.len();
-        let mut rows = vec![Vec::new(); blocks];
+        // Rows are cleared and refilled in place: after the first few
+        // rounds their capacities stabilize and a rebuild allocates
+        // nothing (the steady-state discipline of DESIGN.md §16).
+        for row in &mut self.rows {
+            row.clear();
+        }
         for &(x, y) in pairs {
             debug_assert!(x < blocks && y < blocks, "pair ({x},{y}) out of range");
-            rows[x].push(y);
-            rows[y].push(x);
+            self.rows[x].push(y);
+            self.rows[y].push(x);
         }
-        for row in &mut rows {
+        for row in &mut self.rows {
             row.sort_unstable();
             row.dedup();
         }
-        self.rows = rows;
         self.generation += 1;
     }
 }

@@ -32,8 +32,9 @@ use seer_sim::{Cycles, ThreadId};
 
 use crate::active::ActiveTxs;
 use crate::config::SeerConfig;
+use crate::engine::InferenceEngine;
 use crate::hillclimb::HillClimber;
-use crate::inference::{infer_conflict_pairs_traced_with, infer_conflict_pairs_with, Thresholds};
+use crate::inference::Thresholds;
 use crate::locktable::LockTable;
 use crate::stats::{MergedStats, ThreadStats};
 
@@ -95,6 +96,10 @@ pub struct Seer {
     /// sampled commit/abort registration — the hottest Seer path, so it
     /// must not allocate per event.
     scan_buf: Vec<BlockId>,
+    /// Persistent incremental evaluator of Alg. 5: caches per-row results
+    /// and recomputes only the rows dirtied since the previous update, so
+    /// a steady-state round costs `O(dirty · n)` and allocates nothing.
+    engine: InferenceEngine,
 }
 
 impl Seer {
@@ -125,6 +130,7 @@ impl Seer {
             skip_inference_rounds: 0,
             last_event_sampled: true,
             scan_buf: Vec::new(),
+            engine: InferenceEngine::new(),
         }
     }
 
@@ -201,38 +207,43 @@ impl Seer {
 
     /// The update, optionally emitting one [`InferenceTrace`] to `sink`
     /// stamped with virtual time `now`. The traced and untraced paths run
-    /// the same inference code ([`infer_conflict_pairs_traced`]), so the
+    /// the same inference kernel (through [`InferenceEngine`]), so the
     /// emitted verdicts are the decisions, not a reconstruction.
     fn update_with_trace(&mut self, trace: Option<(&mut dyn TraceSink, Cycles)>) {
         // `self.merged` is maintained incrementally: every sampled
         // registration is folded into it alongside the owning thread's
         // table (`MergedStats::add_commit` / `add_abort`), so an inference
         // round starts from current matrices without re-summing every
-        // per-thread table. The only operation the dual-write cannot track
-        // is decay, which resyncs explicitly below.
+        // per-thread table — and each registration marks its row dirty, so
+        // the persistent engine recomputes only changed rows and reuses
+        // its own scratch (zero steady-state allocations). The only
+        // operation the dual-write cannot track is decay, which resyncs
+        // explicitly below (dirtying every row).
+        let th = self.thresholds;
+        let min_sigma = self.cfg.min_sigma;
         let pairs = match trace {
             Some((sink, now)) if sink.enabled() => {
+                // A trace record carries every row, so the traced round
+                // recomputes all of them (refreshing the cache in passing).
+                let digest = self.merged.digest();
                 let mut rows = Vec::with_capacity(self.blocks);
-                let pairs = infer_conflict_pairs_traced_with(
-                    &self.merged,
-                    self.thresholds,
-                    self.cfg.min_sigma,
-                    Some(&mut |r| rows.push(r)),
-                );
+                let pairs =
+                    self.engine
+                        .round_traced(&mut self.merged, th, min_sigma, &mut |r| rows.push(r));
                 sink.inference(InferenceTrace {
                     round: self.counters.updates + 1,
                     at: now,
-                    stats_digest: self.merged.digest(),
-                    th1: self.thresholds.th1,
-                    th2: self.thresholds.th2,
+                    stats_digest: digest,
+                    th1: th.th1,
+                    th2: th.th2,
                     total_execs: self.total_execs,
                     rows,
                 });
                 pairs
             }
-            _ => infer_conflict_pairs_with(&self.merged, self.thresholds, self.cfg.min_sigma),
+            _ => self.engine.round(&mut self.merged, th, min_sigma),
         };
-        self.table.rebuild(&pairs);
+        self.table.rebuild(pairs);
         self.counters.updates += 1;
         self.execs_at_last_update = self.total_execs;
         if let Some(every) = self.cfg.decay_every_updates {

@@ -81,6 +81,19 @@ impl ThreadStats {
 }
 
 /// The merged global matrices (Fig. 2 step 5).
+///
+/// Besides the counters, the merge tracks **dirty rows**: which block rows
+/// changed since [`MergedStats::clear_dirty`] was last called. Row `x` of
+/// the inference (Alg. 5) reads only `commit[x·n..]`, `abort[x·n..]` and
+/// `executions[x]`, so [`MergedStats::add_commit`]/[`MergedStats::add_abort`]
+/// dirty exactly row `x`, while [`MergedStats::merge_from`] (the decay
+/// resync path) conservatively dirties every row. The incremental
+/// [`crate::InferenceEngine`] uses these bits to skip untouched rows.
+///
+/// The matrix fields stay `pub` for diagnostic reads; code that *writes*
+/// them directly (bypassing the methods) must call
+/// [`MergedStats::mark_all_dirty`] afterwards or cached inference rows go
+/// stale.
 #[derive(Debug, Clone)]
 pub struct MergedStats {
     blocks: usize,
@@ -90,21 +103,29 @@ pub struct MergedStats {
     pub abort: Vec<u64>,
     /// Merged `executions`.
     pub executions: Vec<u64>,
+    dirty: Vec<bool>,
+    all_dirty: bool,
 }
 
 impl MergedStats {
-    /// Zeroed merged matrices over `blocks` atomic blocks.
+    /// Zeroed merged matrices over `blocks` atomic blocks. Every row starts
+    /// dirty: a consumer that has never seen these stats has no valid cache.
     pub fn new(blocks: usize) -> Self {
         Self {
             blocks,
             commit: vec![0; blocks * blocks],
             abort: vec![0; blocks * blocks],
             executions: vec![0; blocks],
+            dirty: vec![false; blocks],
+            all_dirty: true,
         }
     }
 
     /// Recomputes the merge as the element-wise sum of `threads`' matrices.
+    /// Every row may have changed (this is the decay/resync path), so all
+    /// rows are marked dirty.
     pub fn merge_from<'a>(&mut self, threads: impl Iterator<Item = &'a ThreadStats>) {
+        self.all_dirty = true;
         self.commit.iter_mut().for_each(|v| *v = 0);
         self.abort.iter_mut().for_each(|v| *v = 0);
         self.executions.iter_mut().for_each(|v| *v = 0);
@@ -129,6 +150,7 @@ impl MergedStats {
     /// from the current matrices instead of re-summing every per-thread
     /// table (an `O(threads × blocks²)` scan per round).
     pub fn add_commit(&mut self, x: BlockId, concurrent: impl Iterator<Item = BlockId>) {
+        self.dirty[x] = true;
         self.executions[x] += 1;
         for y in concurrent {
             self.commit[x * self.blocks + y] += 1;
@@ -139,6 +161,7 @@ impl MergedStats {
     /// incremental counterpart of [`ThreadStats::register_abort`]. See
     /// [`MergedStats::add_commit`].
     pub fn add_abort(&mut self, x: BlockId, concurrent: impl Iterator<Item = BlockId>) {
+        self.dirty[x] = true;
         self.executions[x] += 1;
         for y in concurrent {
             self.abort[x * self.blocks + y] += 1;
@@ -163,6 +186,35 @@ impl MergedStats {
     /// `executions[x]` — abbreviated `e_x` in the paper.
     pub fn e(&self, x: BlockId) -> u64 {
         self.executions[x]
+    }
+
+    /// Row `x` of the commit matrix as a slice (`c_x,0 .. c_x,n-1`).
+    pub fn commit_row(&self, x: BlockId) -> &[u64] {
+        &self.commit[x * self.blocks..(x + 1) * self.blocks]
+    }
+
+    /// Row `x` of the abort matrix as a slice (`a_x,0 .. a_x,n-1`).
+    pub fn abort_row(&self, x: BlockId) -> &[u64] {
+        &self.abort[x * self.blocks..(x + 1) * self.blocks]
+    }
+
+    /// Has row `x` changed since [`MergedStats::clear_dirty`]?
+    pub fn is_dirty(&self, x: BlockId) -> bool {
+        self.all_dirty || self.dirty[x]
+    }
+
+    /// Marks every row dirty. Required after any direct write to the `pub`
+    /// matrix fields that bypasses the registration methods.
+    pub fn mark_all_dirty(&mut self) {
+        self.all_dirty = true;
+    }
+
+    /// Acknowledges all pending changes: every row reads as clean until the
+    /// next mutation. Called by the inference engine once its caches have
+    /// absorbed the current matrices.
+    pub fn clear_dirty(&mut self) {
+        self.all_dirty = false;
+        self.dirty.iter_mut().for_each(|d| *d = false);
     }
 
     /// Total executions over all blocks (the "enough samples" signal for
@@ -279,6 +331,69 @@ mod tests {
         assert_eq!(rebuilt.abort, incremental.abort);
         assert_eq!(rebuilt.executions, incremental.executions);
         assert_eq!(rebuilt.digest(), incremental.digest());
+    }
+
+    #[test]
+    fn dirty_rows_track_incremental_writes() {
+        let mut m = MergedStats::new(3);
+        // Fresh stats: no consumer has a valid cache, so every row is dirty.
+        assert!((0..3).all(|x| m.is_dirty(x)));
+        m.clear_dirty();
+        assert!((0..3).all(|x| !m.is_dirty(x)));
+        // Incremental registration dirties exactly the registering row:
+        // row x of the inference reads commit[x·n..], abort[x·n..] and
+        // executions[x], none of which change for other rows.
+        m.add_commit(1, [0, 2].into_iter());
+        assert!(!m.is_dirty(0));
+        assert!(m.is_dirty(1));
+        assert!(!m.is_dirty(2));
+        m.add_abort(2, [].into_iter());
+        assert!(m.is_dirty(2));
+        m.clear_dirty();
+        assert!(!m.is_dirty(1));
+    }
+
+    #[test]
+    fn decay_resync_dirties_every_row() {
+        // The decay path halves per-thread counters and re-merges; any row
+        // may shrink, so the resync must dirty all of them.
+        let mut t = ThreadStats::new(2);
+        t.register_abort(0, [1].into_iter());
+        let mut m = MergedStats::new(2);
+        m.merge_from([&t].into_iter());
+        m.clear_dirty();
+        t.decay();
+        m.merge_from([&t].into_iter());
+        assert!(m.is_dirty(0) && m.is_dirty(1));
+        // mark_all_dirty covers direct writes to the pub fields.
+        m.clear_dirty();
+        m.mark_all_dirty();
+        assert!(m.is_dirty(1));
+    }
+
+    #[test]
+    fn row_slices_match_indexed_accessors() {
+        let mut m = MergedStats::new(3);
+        m.add_abort(1, [0, 2].into_iter());
+        m.add_commit(1, [2].into_iter());
+        for x in 0..3 {
+            for y in 0..3 {
+                assert_eq!(m.commit_row(x)[y], m.c(x, y));
+                assert_eq!(m.abort_row(x)[y], m.a(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn digest_ignores_dirty_bits() {
+        // The digest fingerprints the *statistics*, not cache bookkeeping:
+        // two rounds reading the same matrices must agree even if one view
+        // has pending dirty bits and the other was acknowledged.
+        let mut a = MergedStats::new(2);
+        a.add_abort(0, [1].into_iter());
+        let mut b = a.clone();
+        b.clear_dirty();
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]

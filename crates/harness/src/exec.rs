@@ -88,9 +88,12 @@ impl seer_store::StoreKey for CellKey {
     fn key_id(&self) -> String {
         // Scale goes in as raw bits: the store must distinguish exactly
         // the scales the memo cache distinguishes.
+        // `spec()` (not `name()`): the parameterized synth benchmark must
+        // key distinct block counts to distinct store entries. For every
+        // fixed member spec == name, so existing keys are untouched.
         format!(
             "{}/{}/t{}/s{}/x{:016x}",
-            self.benchmark.name(),
+            self.benchmark.spec(),
             self.policy.spec(),
             self.threads,
             self.seed,
@@ -100,7 +103,7 @@ impl seer_store::StoreKey for CellKey {
 
     fn key_json(&self) -> Json {
         Json::object([
-            ("benchmark", self.benchmark.name().to_json()),
+            ("benchmark", self.benchmark.spec().to_json()),
             ("policy", self.policy.spec().to_json()),
             ("threads", self.threads.to_json()),
             ("seed", self.seed.to_json()),

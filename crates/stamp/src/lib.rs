@@ -23,6 +23,7 @@ pub mod labyrinth;
 pub mod model;
 pub mod refined;
 pub mod ssca2;
+pub mod synth;
 pub mod vacation;
 pub mod yada;
 
@@ -65,6 +66,13 @@ pub enum Benchmark {
     /// "as most of its transactions exceed TSX capacity"; modelled here to
     /// validate that exclusion (see [`labyrinth`]).
     Labyrinth,
+    /// Synthetic many-blocks scaling probe with a configurable atomic-block
+    /// count (`synth@blocks=N`; not part of the paper's evaluation — see
+    /// [`synth`]).
+    Synth {
+        /// Number of atomic blocks.
+        blocks: u16,
+    },
 }
 
 impl Benchmark {
@@ -93,7 +101,37 @@ impl Benchmark {
             Benchmark::Yada => "yada",
             Benchmark::HashmapLow => "hashmap-low",
             Benchmark::Labyrinth => "labyrinth",
+            Benchmark::Synth { .. } => "synth",
         }
+    }
+
+    /// Full parameterized spec string: [`Benchmark::name`] for the fixed
+    /// members, `synth@blocks=N` for the parameterized probe. Round-trips
+    /// through [`Benchmark::from_spec`]; the harness uses it wherever a
+    /// benchmark identifies a result (store keys, reports).
+    pub fn spec(self) -> String {
+        match self {
+            Benchmark::Synth { blocks } => format!("synth@blocks={blocks}"),
+            named => named.name().to_string(),
+        }
+    }
+
+    /// Parses a spec string produced by [`Benchmark::spec`] (or typed at a
+    /// CLI): a fixed member's name, `synth` (default block count), or
+    /// `synth@blocks=N` with `N ≥ 1`.
+    pub fn from_spec(s: &str) -> Option<Benchmark> {
+        if s == "synth" {
+            return Some(Benchmark::Synth { blocks: synth::DEFAULT_BLOCKS });
+        }
+        if let Some(rest) = s.strip_prefix("synth@blocks=") {
+            let blocks: u16 = rest.parse().ok().filter(|&b| b >= 1)?;
+            return Some(Benchmark::Synth { blocks });
+        }
+        Benchmark::STAMP
+            .iter()
+            .copied()
+            .chain([Benchmark::HashmapLow, Benchmark::Labyrinth])
+            .find(|b| b.name() == s)
     }
 
     /// Default transactions per thread (scale 1).
@@ -107,6 +145,7 @@ impl Benchmark {
             Benchmark::Yada => yada::DEFAULT_TXS,
             Benchmark::HashmapLow => hashmap::DEFAULT_TXS,
             Benchmark::Labyrinth => labyrinth::DEFAULT_TXS,
+            Benchmark::Synth { .. } => synth::DEFAULT_TXS,
         }
     }
 
@@ -124,6 +163,7 @@ impl Benchmark {
             Benchmark::Yada => yada::model(threads, txs_per_thread),
             Benchmark::HashmapLow => hashmap::model(threads, txs_per_thread),
             Benchmark::Labyrinth => labyrinth::model(threads, txs_per_thread),
+            Benchmark::Synth { blocks } => synth::model(blocks, threads, txs_per_thread),
         }
     }
 
@@ -172,5 +212,29 @@ mod tests {
             assert_eq!(m.name(), b.name());
             assert!(m.num_blocks() >= 2, "{} too simple", b.name());
         }
+        // The parameterized probe carries its spec as the model name.
+        let m = Benchmark::Synth { blocks: 48 }.instantiate_default(8);
+        assert_eq!(m.name(), "synth@blocks=48");
+        assert_eq!(m.num_blocks(), 48);
+    }
+
+    #[test]
+    fn spec_round_trips_through_from_spec() {
+        for b in Benchmark::STAMP
+            .iter()
+            .copied()
+            .chain([Benchmark::HashmapLow, Benchmark::Labyrinth])
+            .chain([Benchmark::Synth { blocks: 1 }, Benchmark::Synth { blocks: 256 }])
+        {
+            assert_eq!(Benchmark::from_spec(&b.spec()), Some(b), "{}", b.spec());
+        }
+        assert_eq!(
+            Benchmark::from_spec("synth"),
+            Some(Benchmark::Synth { blocks: synth::DEFAULT_BLOCKS })
+        );
+        assert_eq!(Benchmark::from_spec("synth@blocks=0"), None);
+        assert_eq!(Benchmark::from_spec("synth@blocks=bogus"), None);
+        assert_eq!(Benchmark::from_spec("synth@lines=4"), None);
+        assert_eq!(Benchmark::from_spec("nope"), None);
     }
 }
